@@ -1,0 +1,62 @@
+//! Figure 14: fsync latency breakdown (single thread).
+//!
+//! One append + fsync is three dispatches (D user data, JM journaled
+//! metadata, JC commit record) plus the I/O wait. The paper's table:
+//!
+//! | system  | D    | JM    | JC    | wait  | fsync |
+//! |---------|------|-------|-------|-------|-------|
+//! | HoraeFS | 5861 | 19327 | 16658 | 34899 | 76745 |
+//! | RioFS   | 5861 |  1440 |  1107 | 34796 | 43204 |
+//!
+//! (nanoseconds). HoraeFS pays a synchronous control-path round trip
+//! before each of JM and JC; RioFS dispatches them back to back.
+
+use rio_bench::{header, row, run};
+use rio_ssd::SsdProfile;
+use rio_stack::{ClusterConfig, OrderingMode, Workload};
+
+fn main() {
+    println!("Reproduction of paper Figure 14 (fsync latency breakdown, ns).");
+    header("Figure 14: 1 thread, append + fsync on remote Optane");
+    row(
+        "system",
+        &["D", "JM", "JC", "wait IO", "fsync"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    let paper = [
+        (
+            "HORAEFS(paper)",
+            [5861.0, 19327.0, 16658.0, 34899.0, 76745.0],
+        ),
+        ("RIOFS(paper)", [5861.0, 1440.0, 1107.0, 34796.0, 43204.0]),
+    ];
+    for (label, vals) in paper {
+        row(
+            label,
+            &vals.iter().map(|v| format!("{v:.0}")).collect::<Vec<_>>(),
+        );
+    }
+    for (mode, label) in [
+        (OrderingMode::Horae, "HORAEFS(sim)"),
+        (OrderingMode::Rio { merge: true }, "RIOFS(sim)"),
+        (OrderingMode::LinuxNvmf, "Ext4(sim)"),
+    ] {
+        let cfg = ClusterConfig::single_ssd(mode, SsdProfile::optane905p(), 1);
+        let wl = Workload::fsync_append(1, 2_000);
+        let m = run(cfg, wl);
+        let d = m.stage_dispatch[0].mean();
+        let jm = m.stage_dispatch[1].mean();
+        let jc = m.stage_dispatch[2].mean();
+        let wait = m.stage_dispatch[3].mean();
+        let total = m.op_latency.mean().as_nanos() as f64;
+        row(
+            label,
+            &[d, jm, jc, wait, total]
+                .iter()
+                .map(|v| format!("{v:.0}"))
+                .collect::<Vec<_>>(),
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Criterion microbenchmarks of the ordering core's hot paths.
+//!
+//! These measure the *real* CPU cost of the data structures the paper's
+//! design leans on: attribute stamping, whole-group merging, PMR log
+//! append/scan, recovery's global merge, and wire encoding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rio_order::attr::{BlockRange, StreamId};
+use rio_order::pmrlog::PmrLog;
+use rio_order::recovery::{RecoveryInput, RecoveryMode, RecoveryPlan, ServerScan};
+use rio_order::scheduler::{OrderQueue, OrderQueueConfig};
+use rio_order::sequencer::{Sequencer, SubmitOpts};
+use rio_order::{attr::Seq, attr::ServerId};
+use rio_proto::{RioExt, Sqe};
+
+fn bench_sequencer(c: &mut Criterion) {
+    c.bench_function("sequencer_stamp", |b| {
+        let mut seq = Sequencer::new(1, 2);
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut attr = seq.submit(
+                StreamId(0),
+                BlockRange::new(i % 100_000, 1),
+                SubmitOpts {
+                    end_group: true,
+                    ..Default::default()
+                },
+            );
+            seq.stamp_dispatch(&mut attr, ServerId((i % 2) as u16));
+            i += 1;
+            attr
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    c.bench_function("order_queue_merge_16", |b| {
+        b.iter_batched(
+            || {
+                let mut seq = Sequencer::new(1, 1);
+                let mut q = OrderQueue::new(StreamId(0), OrderQueueConfig::default());
+                for i in 0..16u64 {
+                    let attr = seq.submit(
+                        StreamId(0),
+                        BlockRange::new(i, 1),
+                        SubmitOpts {
+                            end_group: true,
+                            ..Default::default()
+                        },
+                    );
+                    q.push(attr, i);
+                }
+                q
+            },
+            |mut q| q.flush(),
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_pmr_log(c: &mut Criterion) {
+    c.bench_function("pmr_log_append", |b| {
+        let (mut log, _) = PmrLog::format(2 * 1024 * 1024, 24);
+        let mut seq = Sequencer::new(1, 1);
+        let attr = seq.submit(
+            StreamId(0),
+            BlockRange::new(0, 8),
+            SubmitOpts {
+                end_group: true,
+                ..Default::default()
+            },
+        );
+        let rec = attr.to_pmr_record(0);
+        let mut appended = Vec::new();
+        b.iter(|| {
+            if log.is_full() {
+                for s in appended.drain(..) {
+                    log.free(s);
+                }
+            }
+            let (slot, w) = log.append(&rec).expect("space");
+            appended.push(slot);
+            w
+        });
+    });
+
+    c.bench_function("pmr_scan_2mb", |b| {
+        let mut region = vec![0u8; 2 * 1024 * 1024];
+        let (mut log, writes) = PmrLog::format(region.len(), 24);
+        for w in &writes {
+            region[w.offset..w.offset + w.bytes.len()].copy_from_slice(&w.bytes);
+        }
+        let mut seq = Sequencer::new(1, 1);
+        for i in 0..10_000u64 {
+            let attr = seq.submit(
+                StreamId(0),
+                BlockRange::new(i, 1),
+                SubmitOpts {
+                    end_group: true,
+                    ..Default::default()
+                },
+            );
+            let (_, w) = log.append(&attr.to_pmr_record(0)).expect("space");
+            region[w.offset..w.offset + w.bytes.len()].copy_from_slice(&w.bytes);
+        }
+        b.iter(|| PmrLog::scan(&region).expect("formatted").records.len());
+    });
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    c.bench_function("recovery_merge_10k", |b| {
+        let mut seq = Sequencer::new(1, 2);
+        let mut records = Vec::new();
+        for i in 0..10_000u64 {
+            let mut attr = seq.submit(
+                StreamId(0),
+                BlockRange::new(i * 8, 8),
+                SubmitOpts {
+                    end_group: true,
+                    ..Default::default()
+                },
+            );
+            seq.stamp_dispatch(&mut attr, ServerId((i % 2) as u16));
+            attr.persist = i % 7 != 0;
+            records.push((attr.server, attr.to_pmr_record(0)));
+        }
+        let scans: Vec<ServerScan> = (0..2u16)
+            .map(|s| ServerScan {
+                server: ServerId(s),
+                plp: true,
+                head_seqs: vec![(StreamId(0), Seq(0))],
+                records: records
+                    .iter()
+                    .filter(|(srv, _)| srv.0 == s)
+                    .map(|(_, r)| *r)
+                    .collect(),
+            })
+            .collect();
+        let input = RecoveryInput {
+            scans,
+            mode: RecoveryMode::InitiatorRestart,
+        };
+        b.iter(|| RecoveryPlan::compute(&input).streams.len());
+    });
+}
+
+fn bench_wire(c: &mut Criterion) {
+    c.bench_function("sqe_encode_decode", |b| {
+        let mut seq = Sequencer::new(1, 1);
+        let attr = seq.submit(
+            StreamId(0),
+            BlockRange::new(77, 8),
+            SubmitOpts {
+                end_group: true,
+                ..Default::default()
+            },
+        );
+        let ext = attr.to_wire();
+        b.iter(|| {
+            let mut sqe = Sqe::write(3, 77, 8);
+            ext.embed(&mut sqe);
+            let bytes = sqe.encode();
+            let back = Sqe::decode(&bytes);
+            RioExt::extract(&back).expect("rio command")
+        });
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sequencer, bench_merge, bench_pmr_log, bench_recovery, bench_wire
+);
+criterion_main!(benches);

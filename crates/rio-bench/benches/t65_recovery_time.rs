@@ -1,0 +1,96 @@
+//! §6.5: recovery time after a target crash.
+//!
+//! 36 threads issue 4 KB ordered writes continuously; a fault crashes
+//! the target servers; the initiator reconnects and recovers. The paper
+//! reports ~55 ms for Rio to reconstruct the global order (dominated by
+//! reading the 2 MB PMR) plus ~125 ms of data recovery (discarding the
+//! out-of-order blocks), over 30 trials; Horae reloads its smaller
+//! metadata in ~38 ms and repairs data in ~101 ms.
+
+use rio_bench::{header, row};
+use rio_sim::SimTime;
+use rio_ssd::SsdProfile;
+use rio_stack::crash::run_crash_recovery;
+use rio_stack::{ClusterConfig, OrderingMode, TargetConfig, Workload};
+
+fn main() {
+    println!("Reproduction of paper §6.5 (recovery time).");
+    println!("Paper: Rio ~55 ms order rebuild + ~125 ms data recovery;");
+    println!("Horae ~38 ms + ~101 ms (smaller ordering metadata).");
+    header("§6.5: mean over 30 crash trials, 36 threads, 4 SSDs, 2 targets");
+
+    let trials = 30;
+    let mut rebuild_ms = 0.0;
+    let mut data_ms = 0.0;
+    let mut records = 0usize;
+    let mut discards = 0usize;
+    for trial in 0..trials {
+        let mut cfg = ClusterConfig {
+            seed: 1000 + trial,
+            mode: OrderingMode::Rio { merge: true },
+            initiator_cores: 36,
+            targets: vec![
+                TargetConfig {
+                    ssds: vec![SsdProfile::pm981(), SsdProfile::optane905p()],
+                    cores: 36,
+                },
+                TargetConfig {
+                    ssds: vec![SsdProfile::pm981(), SsdProfile::p4800x()],
+                    cores: 36,
+                },
+            ],
+            fabric: rio_net::FabricProfile::connectx6(),
+            cpu: Default::default(),
+            streams: 36,
+            qps_per_target: 36,
+            stripe_blocks: 1,
+            // "continuously without explicitly waiting": deep windows.
+            max_inflight_per_stream: 96,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+        };
+        cfg.seed = 1000 + trial;
+        let wl = Workload::random_4k(36, 1_000_000);
+        // Crash at a pseudo-random instant in [2, 6] ms of steady state.
+        let crash_ns = 2_000_000 + (trial * 137_911) % 4_000_000;
+        let report = run_crash_recovery(cfg, wl, SimTime::from_nanos(crash_ns));
+        rebuild_ms += report.order_rebuild.as_secs_f64() * 1e3;
+        data_ms += report.data_recovery.as_secs_f64() * 1e3;
+        records += report.records_scanned;
+        discards += report.discards;
+    }
+    let n = trials as f64;
+    row(
+        "RIO (sim)",
+        &[
+            format!("order rebuild {:.1} ms", rebuild_ms / n),
+            format!("data recovery {:.1} ms", data_ms / n),
+            format!("{} records", records / trials as usize),
+            format!("{} discards", discards / trials as usize),
+        ],
+    );
+    row(
+        "RIO (paper)",
+        &[
+            "order rebuild ~55 ms".into(),
+            "data recovery ~125 ms".into(),
+        ],
+    );
+    // Horae's ordering metadata is smaller (~60% of Rio's attribute,
+    // per the paper's relative reload times); its scan scales with the
+    // same PMR region. We report the scaled estimate for reference.
+    row(
+        "HORAE (model)",
+        &[
+            format!("order rebuild {:.1} ms", rebuild_ms / n * 38.0 / 55.0),
+            format!("data recovery {:.1} ms", data_ms / n * 101.0 / 125.0),
+        ],
+    );
+    row(
+        "HORAE (paper)",
+        &[
+            "order rebuild ~38 ms".into(),
+            "data recovery ~101 ms".into(),
+        ],
+    );
+}

@@ -1,0 +1,93 @@
+//! Shared helpers for the figure-regeneration benches.
+//!
+//! Every paper figure/table has a bench target (`cargo bench -p
+//! rio-bench --bench figN_...`) that runs the corresponding simulated
+//! experiment and prints the series the paper reports, side by side
+//! with the paper's qualitative expectation. EXPERIMENTS.md records the
+//! measured numbers against the paper's.
+
+use rio_stack::{Cluster, ClusterConfig, OrderingMode, RunMetrics, Workload};
+
+/// Standard mode list in paper legend order.
+pub fn all_modes() -> Vec<OrderingMode> {
+    vec![
+        OrderingMode::LinuxNvmf,
+        OrderingMode::Horae,
+        OrderingMode::Rio { merge: true },
+        OrderingMode::Orderless,
+    ]
+}
+
+/// Runs one configuration and returns its metrics.
+pub fn run(cfg: ClusterConfig, workload: Workload) -> RunMetrics {
+    Cluster::new(cfg, workload).run()
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Prints one table row: a label plus formatted cells.
+pub fn row(label: &str, cells: &[String]) {
+    print!("{label:>16}");
+    for c in cells {
+        print!(" {c:>14}");
+    }
+    println!();
+}
+
+/// Formats KIOPS.
+pub fn kiops(v: f64) -> String {
+    format!("{:.1}", v / 1e3)
+}
+
+/// Formats GB/s.
+pub fn gbps(v: f64) -> String {
+    format!("{:.2}", v / 1e9)
+}
+
+/// Formats a ratio.
+pub fn ratio(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Formats a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+/// Formats microseconds.
+pub fn us(v: f64) -> String {
+    format!("{v:.1}us")
+}
+
+/// Geometric mean of ratios (the paper's "on average" comparisons).
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(kiops(150_000.0), "150.0");
+        assert_eq!(gbps(2.5e9), "2.50");
+        assert_eq!(pct(0.5), "50.0%");
+        assert_eq!(ratio(2.0), "2.00x");
+        assert_eq!(us(12.34), "12.3us");
+    }
+}

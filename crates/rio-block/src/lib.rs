@@ -1,0 +1,20 @@
+//! The block layer: bios, plug batching, and striped logical volumes.
+//!
+//! This crate models the pieces of the Linux block layer that Rio's
+//! evaluation interacts with:
+//!
+//! * [`bio::Bio`] — the unit of block I/O, carrying an optional
+//!   ordering context (the `bi_private` field Rio reuses, §5).
+//! * [`plug::Plug`] — `blk_start_plug`/`blk_finish_plug` batching, the
+//!   knob Figures 3 and 12 sweep; orderless merging happens here.
+//! * [`volume::StripedVolume`] — the logical volume that round-robins
+//!   4 KB blocks across remote SSDs (§6.2.1) and therefore decides how
+//!   requests split across targets.
+
+pub mod bio;
+pub mod plug;
+pub mod volume;
+
+pub use bio::{Bio, BioFlags, BioId};
+pub use plug::Plug;
+pub use volume::{Extent, StripedVolume};

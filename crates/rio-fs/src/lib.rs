@@ -1,0 +1,28 @@
+//! RioFS: a journaling file system over an ordered block device (§4.7).
+//!
+//! The file system is deliberately compact but *real*: it has a
+//! superblock, inode table, block bitmap, a flat root directory, and a
+//! JBD2-style physical-redo journal. What the paper varies — and what
+//! this crate makes pluggable — is **how the journal's ordered writes
+//! reach the device**:
+//!
+//! * [`device::SyncDev`]-style backends model Ext4's synchronous
+//!   transfer-and-FLUSH,
+//! * [`device::OrderedDev`] models Rio's ordered block device: groups
+//!   of writes are submitted asynchronously and a crash exposes any
+//!   *prefix* of the group sequence (plus the FLUSH-covered suffix
+//!   rule), exactly the post-crash states Rio's recovery theorem
+//!   guarantees (§4.8).
+//!
+//! Crash-consistency property tests mount the file system over every
+//! admissible post-crash state and verify the journal-replay recovery
+//! restores a consistent image containing every fsync'ed file.
+
+pub mod device;
+pub mod fs;
+pub mod journal;
+pub mod layout;
+
+pub use device::{BlockDev, MemDev, OrderedDev};
+pub use fs::{FsError, RioFs};
+pub use layout::Layout;

@@ -1,0 +1,334 @@
+//! The fabric, NICs and queue pairs.
+
+use rio_sim::{BandwidthLink, SimDuration, SimRng, SimTime};
+
+/// Fabric timing parameters.
+#[derive(Debug, Clone)]
+pub struct FabricProfile {
+    /// One-way small-message latency in microseconds.
+    pub one_way_latency_us: f64,
+    /// Link bandwidth in bytes per second (200 Gbps = 25 GB/s).
+    pub bandwidth: f64,
+    /// Latency jitter amplitude (drives cross-QP reordering).
+    pub jitter: f64,
+}
+
+impl FabricProfile {
+    /// ConnectX-6 class fabric: 200 Gbps, ~1.8 µs one-way.
+    pub fn connectx6() -> Self {
+        FabricProfile {
+            one_way_latency_us: 1.8,
+            bandwidth: 25.0e9,
+            jitter: 0.25,
+        }
+    }
+
+    /// A kernel-TCP fabric on the same 200 Gbps link: an order of
+    /// magnitude more one-way latency (socket + softirq path). Each
+    /// socket preserves delivery order, so scheduler Principle 2 maps
+    /// onto stream-per-socket exactly as §4.5 notes.
+    pub fn tcp_200g() -> Self {
+        FabricProfile {
+            one_way_latency_us: 15.0,
+            bandwidth: 25.0e9,
+            jitter: 0.35,
+        }
+    }
+}
+
+/// Per-NIC statistics.
+#[derive(Debug, Default, Clone)]
+pub struct NicStats {
+    /// Two-sided SEND operations posted.
+    pub sends: u64,
+    /// One-sided operations issued.
+    pub one_sided: u64,
+    /// Total bytes serialized onto the egress link.
+    pub bytes_out: u64,
+}
+
+/// One reliable-connected queue pair's delivery cursor.
+#[derive(Debug, Clone, Copy, Default)]
+struct QueuePair {
+    last_delivery: SimTime,
+}
+
+/// A network interface with an egress link and a set of queue pairs.
+#[derive(Debug)]
+pub struct Nic {
+    egress: BandwidthLink,
+    qps: Vec<QueuePair>,
+    stats: NicStats,
+}
+
+impl Nic {
+    /// Creates a NIC with `n_qps` queue pairs on a link of `bandwidth`
+    /// bytes/second.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qps` is zero.
+    pub fn new(n_qps: usize, bandwidth: f64) -> Self {
+        assert!(n_qps > 0, "need at least one queue pair");
+        Nic {
+            egress: BandwidthLink::new(bandwidth),
+            qps: vec![QueuePair::default(); n_qps],
+            stats: NicStats::default(),
+        }
+    }
+
+    /// Number of queue pairs.
+    pub fn n_qps(&self) -> usize {
+        self.qps.len()
+    }
+
+    /// NIC statistics.
+    pub fn stats(&self) -> &NicStats {
+        &self.stats
+    }
+
+    /// Resets in-flight cursors (crash / reconnect).
+    pub fn reset(&mut self, now: SimTime) {
+        for qp in &mut self.qps {
+            qp.last_delivery = now;
+        }
+    }
+}
+
+/// The fabric: latency model plus a deterministic jitter source.
+#[derive(Debug)]
+pub struct Fabric {
+    profile: FabricProfile,
+    rng: SimRng,
+}
+
+impl Fabric {
+    /// Creates a fabric with a deterministic jitter seed.
+    pub fn new(profile: FabricProfile, seed: u64) -> Self {
+        Fabric {
+            profile,
+            rng: SimRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The fabric profile.
+    pub fn profile(&self) -> &FabricProfile {
+        &self.profile
+    }
+
+    fn latency(&mut self) -> SimDuration {
+        SimDuration::from_micros_f64(
+            self.profile.one_way_latency_us * self.rng.jitter(self.profile.jitter),
+        )
+    }
+
+    /// Posts a two-sided SEND of `bytes` on `qp` of `src`; returns the
+    /// delivery instant at the receiver. Delivery on one QP is in
+    /// order; the receiver's CPU cost is charged by the caller.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range queue pair.
+    pub fn send(&mut self, src: &mut Nic, qp: usize, now: SimTime, bytes: u64) -> SimTime {
+        assert!(qp < src.qps.len(), "queue pair {qp} out of range");
+        let wire_done = src.egress.transfer(now, bytes);
+        let mut delivery = wire_done + self.latency();
+        // RC in-order delivery within the queue pair.
+        delivery = delivery.max(src.qps[qp].last_delivery);
+        src.qps[qp].last_delivery = delivery;
+        src.stats.sends += 1;
+        src.stats.bytes_out += bytes;
+        delivery
+    }
+
+    /// Issues a one-sided RDMA READ: `reader` pulls `bytes` from the
+    /// remote `source` NIC's memory. Returns when the data has fully
+    /// arrived at the reader. No remote CPU involvement.
+    pub fn rdma_read(
+        &mut self,
+        reader: &mut Nic,
+        source: &mut Nic,
+        now: SimTime,
+        bytes: u64,
+    ) -> SimTime {
+        // Request travels to the source side...
+        let request_at = now + self.latency();
+        // ...data serializes on the source's egress and travels back.
+        let data_out = source.egress.transfer(request_at, bytes);
+        let arrival = data_out + self.latency();
+        reader.stats.one_sided += 1;
+        source.stats.bytes_out += bytes;
+        arrival
+    }
+
+    /// Issues a one-sided RDMA WRITE: `writer` pushes `bytes` into the
+    /// remote side's memory. Returns when the data is placed remotely.
+    pub fn rdma_write(&mut self, writer: &mut Nic, now: SimTime, bytes: u64) -> SimTime {
+        let wire_done = writer.egress.transfer(now, bytes);
+        let arrival = wire_done + self.latency();
+        writer.stats.one_sided += 1;
+        writer.stats.bytes_out += bytes;
+        arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> Fabric {
+        Fabric::new(FabricProfile::connectx6(), 7)
+    }
+
+    #[test]
+    fn send_latency_near_profile() {
+        let mut f = fabric();
+        let mut nic = Nic::new(4, f.profile().bandwidth);
+        let d = f.send(&mut nic, 0, SimTime::ZERO, 64);
+        let us = d.as_micros_f64();
+        assert!((1.0..3.0).contains(&us), "delivery at {us} us");
+    }
+
+    #[test]
+    fn same_qp_delivery_is_fifo() {
+        let mut f = fabric();
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        let mut prev = SimTime::ZERO;
+        for i in 0..200 {
+            let d = f.send(&mut nic, 0, SimTime::from_nanos(i * 10), 64);
+            assert!(d >= prev, "RC in-order delivery violated at send {i}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn cross_qp_can_reorder() {
+        let mut f = fabric();
+        let mut nic = Nic::new(8, f.profile().bandwidth);
+        // Send on alternating QPs at identical instants; jitter must
+        // produce at least one inversion over enough trials.
+        let mut inverted = false;
+        let mut last_a = SimTime::ZERO;
+        for i in 0..100 {
+            let now = SimTime::from_nanos(i * 1000);
+            let a = f.send(&mut nic, 0, now, 64);
+            let b = f.send(&mut nic, 1, now, 64);
+            if b < a || a < last_a {
+                inverted = true;
+            }
+            last_a = a;
+        }
+        assert!(inverted, "expected cross-QP reordering from jitter");
+    }
+
+    #[test]
+    fn large_transfer_pays_serialization() {
+        let mut f = fabric();
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        let small = f.send(&mut nic, 0, SimTime::ZERO, 64);
+        let mut f2 = fabric();
+        let mut nic2 = Nic::new(1, f2.profile().bandwidth);
+        // 1 MB at 25 GB/s is 40 us of wire time.
+        let large = f2.send(&mut nic2, 0, SimTime::ZERO, 1 << 20);
+        let delta = large.as_micros_f64() - small.as_micros_f64();
+        assert!(delta > 30.0, "1 MB should add ≥30 us, added {delta}");
+    }
+
+    #[test]
+    fn egress_is_shared_across_qps() {
+        let mut f = fabric();
+        let mut nic = Nic::new(2, f.profile().bandwidth);
+        // Two 1 MB sends at t=0 on different QPs serialize on the wire.
+        let a = f.send(&mut nic, 0, SimTime::ZERO, 1 << 20);
+        let b = f.send(&mut nic, 1, SimTime::ZERO, 1 << 20);
+        assert!(
+            b.as_micros_f64() > a.as_micros_f64() + 25.0,
+            "second transfer must queue behind the first"
+        );
+    }
+
+    #[test]
+    fn rdma_read_round_trip_and_no_reader_egress() {
+        let mut f = fabric();
+        let mut initiator = Nic::new(1, f.profile().bandwidth);
+        let mut target = Nic::new(1, f.profile().bandwidth);
+        // Target reads 8 KB from the initiator (NVMe-oF write data pull).
+        let done = f.rdma_read(&mut target, &mut initiator, SimTime::ZERO, 8192);
+        let us = done.as_micros_f64();
+        // Two latencies plus ~0.33 us of wire time.
+        assert!((2.5..8.0).contains(&us), "read completed at {us} us");
+        assert_eq!(target.stats().one_sided, 1);
+        assert_eq!(initiator.stats().bytes_out, 8192, "data leaves the source");
+        assert_eq!(target.stats().bytes_out, 0, "reader sends no payload");
+    }
+
+    #[test]
+    fn rdma_write_one_way() {
+        let mut f = fabric();
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        let done = f.rdma_write(&mut nic, SimTime::ZERO, 4096);
+        let us = done.as_micros_f64();
+        assert!((1.0..4.0).contains(&us), "write placed at {us} us");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut f = fabric();
+        let mut nic = Nic::new(2, f.profile().bandwidth);
+        f.send(&mut nic, 0, SimTime::ZERO, 100);
+        f.send(&mut nic, 1, SimTime::ZERO, 100);
+        f.rdma_write(&mut nic, SimTime::ZERO, 100);
+        assert_eq!(nic.stats().sends, 2);
+        assert_eq!(nic.stats().one_sided, 1);
+        assert_eq!(nic.stats().bytes_out, 300);
+    }
+
+    #[test]
+    fn reset_clears_cursors() {
+        let mut f = fabric();
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        f.send(&mut nic, 0, SimTime::ZERO, 1 << 20);
+        nic.reset(SimTime::from_nanos(500));
+        // After reset a send is not held behind the old cursor.
+        let d = f.send(&mut nic, 0, SimTime::from_nanos(500), 64);
+        assert!(d.as_micros_f64() < 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_qp_rejected() {
+        let mut f = fabric();
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        f.send(&mut nic, 3, SimTime::ZERO, 64);
+    }
+
+    #[test]
+    fn tcp_profile_is_slower_but_ordered() {
+        let mut f = Fabric::new(FabricProfile::tcp_200g(), 7);
+        let mut nic = Nic::new(2, f.profile().bandwidth);
+        let d = f.send(&mut nic, 0, SimTime::ZERO, 64);
+        assert!(d.as_micros_f64() > 8.0, "TCP latency should dwarf RDMA");
+        // Per-socket FIFO still holds.
+        let mut prev = SimTime::ZERO;
+        for i in 0..50 {
+            let d = f.send(&mut nic, 0, SimTime::from_nanos(i * 100), 64);
+            assert!(d >= prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_timing() {
+        let run = || {
+            let mut f = Fabric::new(FabricProfile::connectx6(), 99);
+            let mut nic = Nic::new(4, f.profile().bandwidth);
+            (0..50)
+                .map(|i| {
+                    f.send(&mut nic, i % 4, SimTime::from_nanos(i as u64 * 100), 64)
+                        .as_nanos()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,20 @@
+//! An RDMA fabric model with the three properties Rio builds on.
+//!
+//! 1. **Per-QP in-order delivery** — the reliable connected (RC)
+//!    transport delivers SEND operations on one queue pair in order;
+//!    across queue pairs there is no ordering (scheduler Principle 2
+//!    pins a stream to one QP to exploit exactly this).
+//! 2. **One-sided vs two-sided cost asymmetry** — RDMA READ/WRITE
+//!    bypass the remote CPU; SEND/RECV consume it. The model returns
+//!    timing; the caller charges CPU where the paper says it burns
+//!    (§2.1).
+//! 3. **Finite link bandwidth with serialization** — a 200 Gbps link
+//!    with per-NIC egress queuing, so large transfers and congestion
+//!    shape completion times.
+//!
+//! Like the SSD model, the fabric is passive: operations take `now` and
+//! return delivery instants.
+
+pub mod fabric;
+
+pub use fabric::{Fabric, FabricProfile, Nic, NicStats};

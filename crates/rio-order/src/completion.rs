@@ -1,0 +1,398 @@
+//! In-order completion (Fig. 4 step ⑨).
+//!
+//! Ordered write requests execute out of order inside the pipeline, so
+//! their internal completions arrive out of order too. The completer
+//! buffers them and releases *group* completions to the application
+//! strictly in sequence order per stream, so the file system only ever
+//! observes an ordered state. A group is internally complete when its
+//! boundary request has completed (telling us `num`) and all `num`
+//! members have completed; a merged span completes as a unit.
+//!
+//! Fragment (split) completions are rejoined *below* this layer by the
+//! block layer — exactly as Linux completes a parent bio only when all
+//! split children finish — so the completer only sees logical members.
+
+use std::collections::BTreeMap;
+
+use crate::attr::{OrderingAttr, Seq, StreamId};
+
+/// Progress of one pending group or merged span.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// An unmerged group accumulating member completions.
+    Group {
+        members_done: u16,
+        /// Total members; `None` until the boundary member completes.
+        num: Option<u16>,
+    },
+    /// A whole-group merged span `[seq_start ..= seq_end]`; completes
+    /// atomically.
+    MergedSpan { seq_end: Seq, done: bool },
+}
+
+/// Per-stream completion state.
+#[derive(Debug, Clone)]
+struct StreamCompletions {
+    /// Every group at or below this sequence has been delivered.
+    delivered_through: Seq,
+    /// Pending groups keyed by their first sequence number.
+    pending: BTreeMap<u32, Pending>,
+}
+
+impl StreamCompletions {
+    fn new() -> Self {
+        StreamCompletions {
+            delivered_through: Seq::HEAD,
+            pending: BTreeMap::new(),
+        }
+    }
+}
+
+/// Buffers out-of-order completions and releases them in order.
+///
+/// # Examples
+///
+/// ```
+/// use rio_order::attr::{BlockRange, OrderingAttr, Seq, StreamId};
+/// use rio_order::completion::InOrderCompleter;
+///
+/// let mut c = InOrderCompleter::new(1);
+/// let st = StreamId(0);
+/// let mk = |seq: u32| {
+///     let mut a = OrderingAttr::single(st, Seq(seq), BlockRange::new(0, 1));
+///     a.boundary = true;
+///     a.num = 1;
+///     a
+/// };
+/// // Group 2 completes before group 1: nothing is released yet.
+/// assert!(c.on_done(&mk(2)).is_empty());
+/// // Group 1 completes: both are now released, in order.
+/// assert_eq!(c.on_done(&mk(1)), vec![Seq(1), Seq(2)]);
+/// assert_eq!(c.delivered_through(st), Seq(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct InOrderCompleter {
+    streams: Vec<StreamCompletions>,
+}
+
+impl InOrderCompleter {
+    /// Creates a completer for `n_streams` streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams` is zero.
+    pub fn new(n_streams: usize) -> Self {
+        assert!(n_streams > 0, "need at least one stream");
+        InOrderCompleter {
+            streams: (0..n_streams).map(|_| StreamCompletions::new()).collect(),
+        }
+    }
+
+    /// Highest sequence delivered to the application on `stream`.
+    pub fn delivered_through(&self, stream: StreamId) -> Seq {
+        self.streams[stream.0 as usize].delivered_through
+    }
+
+    /// Whether group `seq` has been delivered on `stream`.
+    pub fn is_delivered(&self, stream: StreamId, seq: Seq) -> bool {
+        seq <= self.delivered_through(stream)
+    }
+
+    /// Number of groups buffered but not yet deliverable on `stream`.
+    pub fn pending_groups(&self, stream: StreamId) -> usize {
+        self.streams[stream.0 as usize].pending.len()
+    }
+
+    /// Records the internal completion of one logical request and
+    /// returns the sequence numbers that become externally deliverable,
+    /// in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the completion duplicates an already-delivered group,
+    /// a group overruns its member count, or a merged span overlaps an
+    /// existing pending group (protocol violations).
+    pub fn on_done(&mut self, attr: &OrderingAttr) -> Vec<Seq> {
+        let st = self
+            .streams
+            .get_mut(attr.stream.0 as usize)
+            .expect("unknown stream");
+        assert!(
+            attr.seq_start > st.delivered_through,
+            "completion for already-delivered group {:?}",
+            attr.seq_start
+        );
+
+        if attr.is_merged_span() {
+            let entry = st
+                .pending
+                .entry(attr.seq_start.0)
+                .or_insert(Pending::MergedSpan {
+                    seq_end: attr.seq_end,
+                    done: false,
+                });
+            match entry {
+                Pending::MergedSpan { seq_end, done } => {
+                    assert_eq!(*seq_end, attr.seq_end, "inconsistent merged span");
+                    assert!(!*done, "duplicate merged-span completion");
+                    *done = true;
+                }
+                Pending::Group { .. } => panic!("merged span overlaps plain group"),
+            }
+        } else {
+            let entry = st
+                .pending
+                .entry(attr.seq_start.0)
+                .or_insert(Pending::Group {
+                    members_done: 0,
+                    num: None,
+                });
+            match entry {
+                Pending::Group { members_done, num } => {
+                    *members_done += 1;
+                    if attr.boundary {
+                        assert!(num.is_none(), "duplicate boundary completion");
+                        *num = Some(attr.num);
+                    }
+                    if let Some(n) = *num {
+                        assert!(
+                            *members_done <= n,
+                            "group {:?} overran its member count",
+                            attr.seq_start
+                        );
+                    }
+                }
+                Pending::MergedSpan { .. } => panic!("plain completion overlaps merged span"),
+            }
+        }
+
+        // Release the contiguous prefix of finished groups.
+        let mut released = Vec::new();
+        loop {
+            let next = st.delivered_through.next();
+            let finished_to = match st.pending.get(&next.0) {
+                Some(Pending::Group {
+                    members_done,
+                    num: Some(n),
+                }) if members_done == n => next,
+                Some(Pending::MergedSpan {
+                    seq_end,
+                    done: true,
+                }) => *seq_end,
+                _ => break,
+            };
+            st.pending.remove(&next.0);
+            let mut s = next;
+            loop {
+                released.push(s);
+                if s == finished_to {
+                    break;
+                }
+                s = s.next();
+            }
+            st.delivered_through = finished_to;
+        }
+        released
+    }
+
+    /// Resets a stream after crash recovery: delivery resumes above
+    /// `delivered_through` with no pending groups.
+    pub fn reset_stream(&mut self, stream: StreamId, delivered_through: Seq) {
+        let st = &mut self.streams[stream.0 as usize];
+        st.delivered_through = delivered_through;
+        st.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::BlockRange;
+    use proptest::prelude::*;
+
+    fn single(seq: u32) -> OrderingAttr {
+        let mut a = OrderingAttr::single(StreamId(0), Seq(seq), BlockRange::new(0, 1));
+        a.boundary = true;
+        a.num = 1;
+        a
+    }
+
+    fn member(seq: u32, idx: u8) -> OrderingAttr {
+        let mut a = OrderingAttr::single(StreamId(0), Seq(seq), BlockRange::new(idx as u64, 1));
+        a.member_idx = idx;
+        a
+    }
+
+    fn boundary(seq: u32, idx: u8, num: u16) -> OrderingAttr {
+        let mut a = member(seq, idx);
+        a.boundary = true;
+        a.num = num;
+        a
+    }
+
+    fn merged(start: u32, end: u32) -> OrderingAttr {
+        let mut a = OrderingAttr::single(StreamId(0), Seq(start), BlockRange::new(0, 4));
+        a.seq_end = Seq(end);
+        a.boundary = true;
+        a.num = (end - start + 1) as u16;
+        a
+    }
+
+    #[test]
+    fn in_order_completions_release_immediately() {
+        let mut c = InOrderCompleter::new(1);
+        assert_eq!(c.on_done(&single(1)), vec![Seq(1)]);
+        assert_eq!(c.on_done(&single(2)), vec![Seq(2)]);
+        assert_eq!(c.delivered_through(StreamId(0)), Seq(2));
+    }
+
+    #[test]
+    fn out_of_order_completions_buffer() {
+        let mut c = InOrderCompleter::new(1);
+        assert!(c.on_done(&single(3)).is_empty());
+        assert!(c.on_done(&single(2)).is_empty());
+        assert_eq!(c.pending_groups(StreamId(0)), 2);
+        assert_eq!(c.on_done(&single(1)), vec![Seq(1), Seq(2), Seq(3)]);
+        assert_eq!(c.pending_groups(StreamId(0)), 0);
+    }
+
+    #[test]
+    fn group_waits_for_all_members() {
+        let mut c = InOrderCompleter::new(1);
+        // Group 1 has three members; boundary arrives in the middle.
+        assert!(c.on_done(&member(1, 0)).is_empty());
+        assert!(c.on_done(&boundary(1, 2, 3)).is_empty());
+        assert_eq!(c.on_done(&member(1, 1)), vec![Seq(1)]);
+    }
+
+    #[test]
+    fn group_waits_for_boundary_to_learn_num() {
+        let mut c = InOrderCompleter::new(1);
+        assert!(c.on_done(&member(1, 0)).is_empty());
+        assert!(c.on_done(&member(1, 1)).is_empty());
+        // Only the boundary reveals that the group had exactly 3 members.
+        assert_eq!(c.on_done(&boundary(1, 2, 3)), vec![Seq(1)]);
+    }
+
+    #[test]
+    fn merged_span_releases_all_covered_groups() {
+        let mut c = InOrderCompleter::new(1);
+        assert_eq!(c.on_done(&merged(1, 3)), vec![Seq(1), Seq(2), Seq(3)]);
+        assert_eq!(c.delivered_through(StreamId(0)), Seq(3));
+    }
+
+    #[test]
+    fn merged_span_blocked_by_earlier_group() {
+        let mut c = InOrderCompleter::new(1);
+        assert!(c.on_done(&merged(2, 4)).is_empty());
+        assert_eq!(c.on_done(&single(1)), vec![Seq(1), Seq(2), Seq(3), Seq(4)]);
+    }
+
+    #[test]
+    fn is_delivered_observer() {
+        let mut c = InOrderCompleter::new(1);
+        c.on_done(&single(1));
+        assert!(c.is_delivered(StreamId(0), Seq(1)));
+        assert!(!c.is_delivered(StreamId(0), Seq(2)));
+    }
+
+    #[test]
+    fn streams_do_not_interfere() {
+        let mut c = InOrderCompleter::new(2);
+        let mut a = single(1);
+        a.stream = StreamId(1);
+        assert_eq!(c.on_done(&a), vec![Seq(1)]);
+        assert_eq!(c.delivered_through(StreamId(0)), Seq::HEAD);
+        assert_eq!(c.delivered_through(StreamId(1)), Seq(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "already-delivered")]
+    fn duplicate_delivery_rejected() {
+        let mut c = InOrderCompleter::new(1);
+        c.on_done(&single(1));
+        c.on_done(&single(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overran")]
+    fn member_overrun_rejected_pending() {
+        let mut c = InOrderCompleter::new(1);
+        // Group 2 (pending behind missing group 1).
+        let mut b = boundary(2, 0, 1);
+        b.stream = StreamId(0);
+        c.on_done(&b);
+        let mut extra = member(2, 1);
+        extra.stream = StreamId(0);
+        c.on_done(&extra);
+    }
+
+    #[test]
+    fn reset_stream_clears_pending() {
+        let mut c = InOrderCompleter::new(1);
+        c.on_done(&single(5));
+        c.reset_stream(StreamId(0), Seq(7));
+        assert_eq!(c.delivered_through(StreamId(0)), Seq(7));
+        assert_eq!(c.pending_groups(StreamId(0)), 0);
+        assert_eq!(c.on_done(&single(8)), vec![Seq(8)]);
+    }
+
+    proptest! {
+        /// Whatever the completion arrival order, delivery is exactly
+        /// 1..=n in sequence order.
+        #[test]
+        fn prop_delivery_is_ordered_prefix(
+            n in 1u32..40,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            let mut order: Vec<u32> = (1..=n).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut c = InOrderCompleter::new(1);
+            let mut delivered = Vec::new();
+            for seq in order {
+                delivered.extend(c.on_done(&single(seq)));
+            }
+            let expect: Vec<Seq> = (1..=n).map(Seq).collect();
+            prop_assert_eq!(delivered, expect);
+        }
+
+        /// Multi-member groups with shuffled member arrival still
+        /// deliver as an ordered prefix.
+        #[test]
+        fn prop_groups_deliver_in_order(
+            sizes in proptest::collection::vec(1u16..5, 1..12),
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+            // Build all member completions.
+            let mut events = Vec::new();
+            for (g, &size) in sizes.iter().enumerate() {
+                let seq = g as u32 + 1;
+                for m in 0..size {
+                    if m == size - 1 {
+                        events.push(boundary(seq, m as u8, size));
+                    } else {
+                        events.push(member(seq, m as u8));
+                    }
+                }
+            }
+            for i in (1..events.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                events.swap(i, j);
+            }
+            let mut c = InOrderCompleter::new(1);
+            let mut delivered = Vec::new();
+            for e in &events {
+                delivered.extend(c.on_done(e));
+            }
+            let expect: Vec<Seq> = (1..=sizes.len() as u32).map(Seq).collect();
+            prop_assert_eq!(delivered, expect);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The `librio` programming model (§4.6): `rio_setup`, `rio_submit`,
+//! `rio_wait` over an ordered block device abstraction.
+//!
+//! This is the paper's user-facing API shape, bundling the sequencer,
+//! per-stream ORDER queues and the in-order completer into one object.
+//! It is transport-agnostic: `rio_submit` hands back the dispatch units
+//! the caller's driver must send (the simulator's initiator driver and
+//! any real transport plug in identically), and the caller feeds
+//! internal completions back through [`Rio::on_done`].
+//!
+//! ```
+//! use rio_order::librio::{Rio, RioSetup};
+//! use rio_order::attr::{BlockRange, ServerId, StreamId};
+//!
+//! // rio_setup: 2 streams over 1 target server.
+//! let mut rio = Rio::setup(RioSetup { streams: 2, servers: 1, merge: true });
+//! let st = StreamId(0);
+//! // rio_submit: journal body, then commit with FLUSH + group end.
+//! rio.submit(st, BlockRange::new(0, 2), false, false);
+//! let units = rio.submit(st, BlockRange::new(2, 1), true, true);
+//! assert_eq!(units.len(), 1, "body and commit merged into one unit");
+//! // The driver dispatches units; completions come back asynchronously.
+//! let unit = &units[0];
+//! for part in &unit.parts {
+//!     rio.on_done(&part.attr);
+//! }
+//! // rio_wait: the group is durable and delivered in order.
+//! assert!(rio.wait(st, unit.attr.seq_end));
+//! ```
+
+use crate::attr::{BlockRange, OrderingAttr, Seq, ServerId, StreamId};
+use crate::completion::InOrderCompleter;
+use crate::scheduler::{DispatchUnit, OrderQueue, OrderQueueConfig};
+use crate::sequencer::{Sequencer, SubmitOpts};
+
+/// `rio_setup` parameters: stream count ("ideally the number of
+/// independent transactions allowed", §4.6) and target servers.
+#[derive(Debug, Clone, Copy)]
+pub struct RioSetup {
+    /// Number of independent ordered streams.
+    pub streams: usize,
+    /// Number of target servers backing the ordered device.
+    pub servers: usize,
+    /// Whether the ORDER queues merge consecutive groups.
+    pub merge: bool,
+}
+
+/// The ordered block device handle.
+pub struct Rio {
+    sequencer: Sequencer,
+    completer: InOrderCompleter,
+    queues: Vec<OrderQueue>,
+}
+
+impl Rio {
+    /// `rio_setup`: associates streams with the (networked) devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero streams or servers.
+    pub fn setup(cfg: RioSetup) -> Self {
+        Rio {
+            sequencer: Sequencer::new(cfg.streams, cfg.servers),
+            completer: InOrderCompleter::new(cfg.streams),
+            queues: (0..cfg.streams)
+                .map(|s| {
+                    OrderQueue::new(
+                        StreamId(s as u16),
+                        OrderQueueConfig {
+                            merge: cfg.merge,
+                            ..Default::default()
+                        },
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of configured streams.
+    pub fn n_streams(&self) -> usize {
+        self.sequencer.n_streams()
+    }
+
+    /// `rio_submit`: queues one ordered write on `stream`.
+    ///
+    /// `end_group` marks the final request of the group (the paper's
+    /// boundary flag); `flush` embeds a FLUSH for durability. Returns
+    /// the dispatch units ready for the driver — empty until a group
+    /// boundary flushes the ORDER queue.
+    pub fn submit(
+        &mut self,
+        stream: StreamId,
+        range: BlockRange,
+        end_group: bool,
+        flush: bool,
+    ) -> Vec<DispatchUnit> {
+        let attr = self.sequencer.submit(
+            stream,
+            range,
+            SubmitOpts {
+                end_group,
+                ipu: false,
+                flush,
+            },
+        );
+        self.queues[stream.0 as usize].push(attr, 0);
+        if end_group {
+            self.queues[stream.0 as usize].flush()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Stamps the per-server part of a unit fragment at dispatch time
+    /// (the initiator driver calls this once per physical request).
+    pub fn stamp(&mut self, attr: &mut OrderingAttr, server: ServerId) {
+        self.sequencer.stamp_dispatch(attr, server);
+    }
+
+    /// Feeds an internal completion back; returns the group sequences
+    /// that become externally visible, in order.
+    pub fn on_done(&mut self, attr: &OrderingAttr) -> Vec<Seq> {
+        self.completer.on_done(attr)
+    }
+
+    /// `rio_wait`: whether group `seq` has been delivered on `stream`.
+    ///
+    /// A driver integration parks the caller until this turns true; the
+    /// polling loop of §4.6 maps onto repeated calls.
+    pub fn wait(&self, stream: StreamId, seq: Seq) -> bool {
+        self.completer.is_delivered(stream, seq)
+    }
+
+    /// Highest delivered sequence per stream (durability horizon for
+    /// PMR-log recycling).
+    pub fn delivered_through(&self, stream: StreamId) -> Seq {
+        self.completer.delivered_through(stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn setup_submit_wait_round_trip() {
+        let mut rio = Rio::setup(RioSetup {
+            streams: 1,
+            servers: 2,
+            merge: false,
+        });
+        let st = StreamId(0);
+        let units = rio.submit(st, BlockRange::new(0, 1), true, false);
+        assert_eq!(units.len(), 1);
+        let mut frag = units[0].attr;
+        rio.stamp(&mut frag, ServerId(1));
+        assert_eq!(frag.server, ServerId(1));
+        assert!(!rio.wait(st, Seq(1)), "not delivered yet");
+        let delivered = rio.on_done(&units[0].attr);
+        assert_eq!(delivered, vec![Seq(1)]);
+        assert!(rio.wait(st, Seq(1)));
+    }
+
+    #[test]
+    fn groups_accumulate_until_boundary() {
+        let mut rio = Rio::setup(RioSetup {
+            streams: 1,
+            servers: 1,
+            merge: true,
+        });
+        let st = StreamId(0);
+        assert!(rio
+            .submit(st, BlockRange::new(0, 1), false, false)
+            .is_empty());
+        assert!(rio
+            .submit(st, BlockRange::new(1, 1), false, false)
+            .is_empty());
+        let units = rio.submit(st, BlockRange::new(2, 1), true, true);
+        assert_eq!(units.len(), 1, "whole group merges into one unit");
+        assert_eq!(units[0].attr.num, 3);
+        assert!(units[0].attr.flush);
+    }
+
+    #[test]
+    fn streams_wait_independently() {
+        let mut rio = Rio::setup(RioSetup {
+            streams: 2,
+            servers: 1,
+            merge: false,
+        });
+        let u0 = rio.submit(StreamId(0), BlockRange::new(0, 1), true, false);
+        let _u1 = rio.submit(StreamId(1), BlockRange::new(8, 1), true, false);
+        rio.on_done(&u0[0].attr);
+        assert!(rio.wait(StreamId(0), Seq(1)));
+        assert!(!rio.wait(StreamId(1), Seq(1)), "stream 1 still in flight");
+    }
+}

@@ -1,0 +1,459 @@
+//! The Rio sequencer: assigns ordering attributes at submission time.
+//!
+//! The sequencer treats the submission order from the file system (or
+//! application) as the storage order (§4.2 "Creation"). Stamping happens
+//! in two phases, mirroring where the information exists in the stack:
+//!
+//! 1. [`Sequencer::submit`] — at `rio_submit` time, the *logical* part:
+//!    every request joins the currently open group and receives the
+//!    group sequence number and its member ordinal; a request flagged as
+//!    the end of its group becomes the `boundary` request, carries `num`
+//!    (the member count) and closes the group.
+//! 2. [`Sequencer::stamp_dispatch`] — at initiator-driver dispatch time,
+//!    after merging/splitting/striping decided *where* each physical
+//!    request goes: the per-server part. `prev` is the most recent group
+//!    that dispatched anything to the same target server (the per-server
+//!    order list of Fig. 5) and `dispatch_idx` is the per-(stream,
+//!    server) ordinal the target's in-order submission gate uses.
+
+use crate::attr::{BlockRange, OrderingAttr, Seq, ServerId, StreamId};
+
+/// Options for one submission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SubmitOpts {
+    /// This request ends its ordered group (the paper's final request;
+    /// `rio_submit`'s boundary flag).
+    pub end_group: bool,
+    /// In-place update label (§4.4.2).
+    pub ipu: bool,
+    /// Embed a FLUSH for durability (§4.6: the final request of an
+    /// fsync-style group carries the FLUSH).
+    pub flush: bool,
+}
+
+/// Per-server bookkeeping inside one stream.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerCursor {
+    /// Most recent group (span end) with presence on this server.
+    newest_group: Seq,
+    /// The group before `newest_group` on this server.
+    prev_of_newest: Seq,
+    /// Physical requests dispatched to this server so far (gate ordinal).
+    dispatched: u64,
+}
+
+/// Per-stream sequencing state.
+#[derive(Debug, Clone)]
+struct StreamState {
+    /// Sequence number of the open group.
+    open_seq: Seq,
+    /// Members submitted to the open group so far.
+    open_members: u16,
+    /// Per-server cursors.
+    servers: Vec<ServerCursor>,
+}
+
+impl StreamState {
+    fn new(n_servers: usize) -> Self {
+        StreamState {
+            open_seq: Seq(1),
+            open_members: 0,
+            servers: vec![ServerCursor::default(); n_servers],
+        }
+    }
+}
+
+/// The Rio sequencer (Fig. 4 steps ① and ②).
+///
+/// # Examples
+///
+/// ```
+/// use rio_order::attr::{BlockRange, Seq, ServerId, StreamId};
+/// use rio_order::sequencer::{Sequencer, SubmitOpts};
+///
+/// let mut seq = Sequencer::new(1, 2);
+/// // Journal body: two members of group 1.
+/// let mut w1_1 = seq.submit(StreamId(0), BlockRange::new(1, 1), SubmitOpts::default());
+/// let mut w1_2 = seq.submit(
+///     StreamId(0),
+///     BlockRange::new(2, 4),
+///     SubmitOpts { end_group: true, ..Default::default() },
+/// );
+/// assert_eq!(w1_1.seq_start, Seq(1));
+/// assert!(w1_2.boundary);
+/// assert_eq!(w1_2.num, 2);
+/// // Both dispatch to server 0; the commit record of group 2 chains
+/// // prev = 1 on that server.
+/// seq.stamp_dispatch(&mut w1_1, ServerId(0));
+/// seq.stamp_dispatch(&mut w1_2, ServerId(0));
+/// let mut w2 = seq.submit(
+///     StreamId(0),
+///     BlockRange::new(6, 1),
+///     SubmitOpts { end_group: true, flush: true, ..Default::default() },
+/// );
+/// seq.stamp_dispatch(&mut w2, ServerId(0));
+/// assert_eq!(w2.seq_start, Seq(2));
+/// assert_eq!(w2.prev, Seq(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sequencer {
+    streams: Vec<StreamState>,
+    n_servers: usize,
+}
+
+impl Sequencer {
+    /// Maximum members per group (the member ordinal is a byte in the
+    /// PMR record).
+    pub const MAX_GROUP_MEMBERS: u16 = 256;
+
+    /// Creates a sequencer for `n_streams` independent streams over
+    /// `n_servers` target servers (`rio_setup`, §4.6).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_streams: usize, n_servers: usize) -> Self {
+        assert!(n_streams > 0, "need at least one stream");
+        assert!(n_servers > 0, "need at least one server");
+        Sequencer {
+            streams: (0..n_streams)
+                .map(|_| StreamState::new(n_servers))
+                .collect(),
+            n_servers,
+        }
+    }
+
+    /// Number of configured streams.
+    pub fn n_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Number of configured target servers.
+    pub fn n_servers(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Sequence number of the group currently open on `stream`.
+    pub fn open_seq(&self, stream: StreamId) -> Seq {
+        self.streams[stream.0 as usize].open_seq
+    }
+
+    /// Members already submitted to the open group.
+    pub fn open_members(&self, stream: StreamId) -> u16 {
+        self.streams[stream.0 as usize].open_members
+    }
+
+    /// Stamps the logical ordering attribute for a request of `range`
+    /// (the core of `rio_submit`, phase 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream, a group larger than
+    /// [`Self::MAX_GROUP_MEMBERS`], or sequence-space exhaustion.
+    pub fn submit(
+        &mut self,
+        stream: StreamId,
+        range: BlockRange,
+        opts: SubmitOpts,
+    ) -> OrderingAttr {
+        let st = self
+            .streams
+            .get_mut(stream.0 as usize)
+            .expect("unknown stream");
+        assert!(
+            st.open_members < Self::MAX_GROUP_MEMBERS,
+            "group exceeds {} members",
+            Self::MAX_GROUP_MEMBERS
+        );
+
+        let seq = st.open_seq;
+        let member_idx = st.open_members as u8;
+        st.open_members += 1;
+
+        let mut attr = OrderingAttr::single(stream, seq, range);
+        attr.member_idx = member_idx;
+        attr.ipu = opts.ipu;
+        attr.flush = opts.flush;
+        if opts.end_group {
+            attr.boundary = true;
+            attr.num = st.open_members;
+            st.open_seq = seq.next();
+            st.open_members = 0;
+        }
+        attr
+    }
+
+    /// Stamps the per-server part of an attribute at dispatch time
+    /// (phase 2): `server`, `prev` and `dispatch_idx`.
+    ///
+    /// Must be called once per *physical* request (after any merging and
+    /// splitting), in dispatch order — the order defines the per-server
+    /// order list the target gate and crash recovery rebuild.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown stream or server.
+    pub fn stamp_dispatch(&mut self, attr: &mut OrderingAttr, server: ServerId) {
+        let st = self
+            .streams
+            .get_mut(attr.stream.0 as usize)
+            .expect("unknown stream");
+        let cursor = st
+            .servers
+            .get_mut(server.0 as usize)
+            .expect("unknown server");
+
+        // Requests of the same group (or merged span) share the
+        // predecessor; a new group pushes the chain forward.
+        if cursor.newest_group != attr.seq_end {
+            cursor.prev_of_newest = cursor.newest_group;
+            cursor.newest_group = attr.seq_end;
+        }
+        attr.prev = cursor.prev_of_newest;
+        attr.server = server;
+        attr.dispatch_idx = cursor.dispatched;
+        cursor.dispatched += 1;
+    }
+
+    /// Resets a stream (used after crash recovery re-initialisation):
+    /// the next group opens at `resume_at` and per-server chains restart
+    /// from `resume_prev` per server.
+    pub fn reset_stream(&mut self, stream: StreamId, resume_at: Seq, resume_prev: &[Seq]) {
+        let st = self
+            .streams
+            .get_mut(stream.0 as usize)
+            .expect("unknown stream");
+        assert!(!resume_at.is_head(), "cannot resume at the reserved head");
+        st.open_seq = resume_at;
+        st.open_members = 0;
+        for (i, cursor) in st.servers.iter_mut().enumerate() {
+            let prev = resume_prev.get(i).copied().unwrap_or(Seq::HEAD);
+            cursor.newest_group = prev;
+            cursor.prev_of_newest = prev;
+            // Dispatch ordinals restart: the gate state is rebuilt on
+            // reconnect, so both sides agree on a fresh epoch.
+            cursor.dispatched = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(lba: u64, blocks: u32) -> BlockRange {
+        BlockRange::new(lba, blocks)
+    }
+
+    fn end() -> SubmitOpts {
+        SubmitOpts {
+            end_group: true,
+            ..Default::default()
+        }
+    }
+
+    /// Reproduces Fig. 5 exactly: W1_1, W1_2 (group 1, num=2), W2
+    /// (group 2 on another server), W3 (group 3, back on server 0,
+    /// prev=1).
+    #[test]
+    fn figure5_attributes() {
+        let mut s = Sequencer::new(1, 2);
+        let st = StreamId(0);
+
+        let mut w1_1 = s.submit(st, r(1, 1), SubmitOpts::default());
+        let mut w1_2 = s.submit(st, r(2, 4), end());
+        let mut w2 = s.submit(st, r(6, 1), end());
+        let mut w3 = s.submit(st, r(12, 1), end());
+
+        s.stamp_dispatch(&mut w1_1, ServerId(0));
+        s.stamp_dispatch(&mut w1_2, ServerId(0));
+        s.stamp_dispatch(&mut w2, ServerId(1));
+        s.stamp_dispatch(&mut w3, ServerId(0));
+
+        assert_eq!(
+            (w1_1.seq_start, w1_1.num, w1_1.prev),
+            (Seq(1), 0, Seq::HEAD)
+        );
+        assert!(!w1_1.boundary);
+        assert_eq!(w1_1.member_idx, 0);
+        assert_eq!(
+            (w1_2.seq_start, w1_2.num, w1_2.prev),
+            (Seq(1), 2, Seq::HEAD)
+        );
+        assert!(w1_2.boundary);
+        assert_eq!(w1_2.member_idx, 1);
+        assert_eq!((w2.seq_start, w2.num, w2.prev), (Seq(2), 1, Seq::HEAD));
+        assert_eq!((w3.seq_start, w3.num, w3.prev), (Seq(3), 1, Seq(1)));
+    }
+
+    #[test]
+    fn same_group_members_share_prev() {
+        let mut s = Sequencer::new(1, 1);
+        let st = StreamId(0);
+        let mut w = s.submit(st, r(0, 1), end());
+        s.stamp_dispatch(&mut w, ServerId(0));
+        let mut a = s.submit(st, r(10, 1), SubmitOpts::default());
+        let mut b = s.submit(st, r(11, 1), SubmitOpts::default());
+        let mut c = s.submit(st, r(12, 1), end());
+        s.stamp_dispatch(&mut a, ServerId(0));
+        s.stamp_dispatch(&mut b, ServerId(0));
+        s.stamp_dispatch(&mut c, ServerId(0));
+        assert_eq!(a.prev, Seq(1));
+        assert_eq!(b.prev, Seq(1), "same-group members share the predecessor");
+        assert_eq!(c.prev, Seq(1));
+        assert_eq!(c.num, 3);
+        assert_eq!((a.member_idx, b.member_idx, c.member_idx), (0, 1, 2));
+    }
+
+    #[test]
+    fn dispatch_idx_is_per_server_ordinal() {
+        let mut s = Sequencer::new(1, 2);
+        let st = StreamId(0);
+        let mut a = s.submit(st, r(0, 1), end());
+        let mut b = s.submit(st, r(1, 1), end());
+        let mut c = s.submit(st, r(2, 1), end());
+        s.stamp_dispatch(&mut a, ServerId(0));
+        s.stamp_dispatch(&mut b, ServerId(1));
+        s.stamp_dispatch(&mut c, ServerId(0));
+        assert_eq!(a.dispatch_idx, 0);
+        assert_eq!(b.dispatch_idx, 0, "independent per-server counters");
+        assert_eq!(c.dispatch_idx, 1);
+    }
+
+    #[test]
+    fn merged_span_chains_by_span_end() {
+        let mut s = Sequencer::new(1, 1);
+        let st = StreamId(0);
+        // Build groups 1..=3, then pretend the scheduler merged them.
+        for _ in 0..3 {
+            s.submit(st, r(0, 1), end());
+        }
+        let mut merged = OrderingAttr::single(st, Seq(1), r(0, 3));
+        merged.seq_end = Seq(3);
+        merged.boundary = true;
+        merged.num = 3;
+        s.stamp_dispatch(&mut merged, ServerId(0));
+        assert_eq!(merged.prev, Seq::HEAD);
+        // Group 4 chains to the span end.
+        let mut w4 = s.submit(st, r(10, 1), end());
+        s.stamp_dispatch(&mut w4, ServerId(0));
+        assert_eq!(w4.prev, Seq(3));
+    }
+
+    #[test]
+    fn split_fragments_share_prev() {
+        let mut s = Sequencer::new(1, 2);
+        let st = StreamId(0);
+        let mut w = s.submit(st, r(0, 1), end());
+        s.stamp_dispatch(&mut w, ServerId(0));
+        // A member of group 2 split into two fragments on server 0.
+        let big = s.submit(st, r(10, 8), end());
+        let mut f0 = big;
+        f0.range = r(10, 4);
+        let mut f1 = big;
+        f1.range = r(14, 4);
+        s.stamp_dispatch(&mut f0, ServerId(0));
+        s.stamp_dispatch(&mut f1, ServerId(0));
+        assert_eq!(f0.prev, Seq(1));
+        assert_eq!(f1.prev, Seq(1), "fragments share the group predecessor");
+        assert_eq!(f0.dispatch_idx, 1);
+        assert_eq!(f1.dispatch_idx, 2);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut s = Sequencer::new(2, 1);
+        let a = s.submit(StreamId(0), r(0, 1), end());
+        let b = s.submit(StreamId(1), r(1, 1), end());
+        assert_eq!(a.seq_start, Seq(1));
+        assert_eq!(b.seq_start, Seq(1), "each stream numbers from 1");
+    }
+
+    #[test]
+    fn flags_propagate() {
+        let mut s = Sequencer::new(1, 1);
+        let a = s.submit(
+            StreamId(0),
+            r(0, 1),
+            SubmitOpts {
+                end_group: true,
+                ipu: true,
+                flush: true,
+            },
+        );
+        assert!(a.ipu);
+        assert!(a.flush);
+        assert!(a.boundary);
+    }
+
+    #[test]
+    fn reset_stream_resumes_numbering() {
+        let mut s = Sequencer::new(1, 2);
+        let st = StreamId(0);
+        for _ in 0..5 {
+            let mut w = s.submit(st, r(0, 1), end());
+            s.stamp_dispatch(&mut w, ServerId(0));
+        }
+        s.reset_stream(st, Seq(4), &[Seq(3), Seq::HEAD]);
+        let mut a = s.submit(st, r(0, 1), end());
+        s.stamp_dispatch(&mut a, ServerId(0));
+        assert_eq!(a.seq_start, Seq(4));
+        assert_eq!(a.prev, Seq(3));
+        assert_eq!(a.dispatch_idx, 0, "gate epoch restarts after recovery");
+        let mut b = s.submit(st, r(0, 1), end());
+        s.stamp_dispatch(&mut b, ServerId(1));
+        assert_eq!(b.prev, Seq::HEAD);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown stream")]
+    fn unknown_stream_panics() {
+        let mut s = Sequencer::new(1, 1);
+        s.submit(StreamId(9), r(0, 1), SubmitOpts::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one stream")]
+    fn zero_streams_rejected() {
+        let _ = Sequencer::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "group exceeds")]
+    fn oversized_group_rejected() {
+        let mut s = Sequencer::new(1, 1);
+        for _ in 0..=Sequencer::MAX_GROUP_MEMBERS {
+            s.submit(StreamId(0), r(0, 1), SubmitOpts::default());
+        }
+    }
+
+    #[test]
+    fn open_group_observers() {
+        let mut s = Sequencer::new(1, 1);
+        let st = StreamId(0);
+        assert_eq!(s.open_seq(st), Seq(1));
+        assert_eq!(s.open_members(st), 0);
+        s.submit(st, r(0, 1), SubmitOpts::default());
+        assert_eq!(s.open_members(st), 1);
+        s.submit(st, r(1, 1), end());
+        assert_eq!(s.open_seq(st), Seq(2));
+        assert_eq!(s.open_members(st), 0);
+    }
+
+    /// Long alternating workload: per-server prev always points to the
+    /// last group with presence on that server.
+    #[test]
+    fn prev_chain_matches_reference_model() {
+        let mut s = Sequencer::new(1, 3);
+        let st = StreamId(0);
+        let mut newest: [Seq; 3] = [Seq::HEAD; 3];
+        for g in 1..=200u32 {
+            let server = ServerId((g % 3) as u16);
+            let mut attr = s.submit(st, r(g as u64 * 10, 1), end());
+            s.stamp_dispatch(&mut attr, server);
+            assert_eq!(attr.seq_start, Seq(g));
+            assert_eq!(attr.prev, newest[server.0 as usize]);
+            newest[server.0 as usize] = Seq(g);
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! NVMe / NVMe-over-Fabrics wire formats, including Rio's extension.
+//!
+//! Rio transfers ordering attributes inside the *reserved* fields of the
+//! standard NVMe-oF I/O command (paper Table 1, atop the NVMe 1.4
+//! specification). This crate provides bit-exact encode/decode of:
+//!
+//! * the 64-byte submission queue entry ([`Sqe`]),
+//! * the 16-byte completion queue entry ([`Cqe`]),
+//! * the Rio ordering extension carried in the reserved dwords
+//!   ([`RioExt`]),
+//! * the 32-byte persistent-ordering-attribute record written to the PMR
+//!   log ([`pmr_record::PmrRecord`]).
+//!
+//! Everything here is pure data manipulation: no I/O, no simulation
+//! dependencies, fully round-trip tested.
+
+pub mod cqe;
+pub mod opcode;
+pub mod pmr_record;
+pub mod rio_ext;
+pub mod sqe;
+
+pub use cqe::{Cqe, Status};
+pub use opcode::{NvmOpcode, RioOpcode};
+pub use pmr_record::PmrRecord;
+pub use rio_ext::{RioExt, RioFlags};
+pub use sqe::Sqe;

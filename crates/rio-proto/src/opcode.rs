@@ -1,0 +1,92 @@
+//! NVMe I/O opcodes and the Rio sub-opcodes.
+
+/// Standard NVM command set opcodes (NVMe 1.4 §6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum NvmOpcode {
+    /// Flush: make all prior writes on the namespace durable.
+    Flush = 0x00,
+    /// Write data blocks.
+    Write = 0x01,
+    /// Read data blocks.
+    Read = 0x02,
+}
+
+impl NvmOpcode {
+    /// Decodes an opcode byte.
+    pub fn from_u8(v: u8) -> Option<NvmOpcode> {
+        match v {
+            0x00 => Some(NvmOpcode::Flush),
+            0x01 => Some(NvmOpcode::Write),
+            0x02 => Some(NvmOpcode::Read),
+            _ => None,
+        }
+    }
+
+    /// Encodes to the opcode byte.
+    pub fn as_u8(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Rio sub-opcodes carried in dword 0 bits 10:13 (paper Table 1).
+///
+/// `None`/zero means the command is a plain (orderless) NVMe-oF command;
+/// any non-zero value marks an ordered Rio command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum RioOpcode {
+    /// Ordered submission (rio_submit).
+    Submit = 0x1,
+    /// Recovery: fetch the per-server ordering list scanned from PMR.
+    FetchOrderList = 0x2,
+    /// Recovery: discard data blocks outside the global ordering list.
+    Discard = 0x3,
+    /// Recovery: replay a non-persistent request (target repair).
+    Replay = 0x4,
+}
+
+impl RioOpcode {
+    /// Decodes the 4-bit field; 0 means "not a Rio command".
+    pub fn from_bits(v: u8) -> Option<RioOpcode> {
+        match v {
+            0x1 => Some(RioOpcode::Submit),
+            0x2 => Some(RioOpcode::FetchOrderList),
+            0x3 => Some(RioOpcode::Discard),
+            0x4 => Some(RioOpcode::Replay),
+            _ => None,
+        }
+    }
+
+    /// Encodes to the 4-bit field value.
+    pub fn as_bits(self) -> u8 {
+        self as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nvm_opcode_round_trip() {
+        for op in [NvmOpcode::Flush, NvmOpcode::Write, NvmOpcode::Read] {
+            assert_eq!(NvmOpcode::from_u8(op.as_u8()), Some(op));
+        }
+        assert_eq!(NvmOpcode::from_u8(0x7f), None);
+    }
+
+    #[test]
+    fn rio_opcode_round_trip() {
+        for op in [
+            RioOpcode::Submit,
+            RioOpcode::FetchOrderList,
+            RioOpcode::Discard,
+            RioOpcode::Replay,
+        ] {
+            assert_eq!(RioOpcode::from_bits(op.as_bits()), Some(op));
+        }
+        assert_eq!(RioOpcode::from_bits(0), None, "zero means plain NVMe-oF");
+        assert_eq!(RioOpcode::from_bits(0xf), None);
+    }
+}

@@ -1,0 +1,185 @@
+//! A time-ordered event heap with stable FIFO tie-breaking.
+//!
+//! Determinism requires that two events scheduled for the same instant pop
+//! in the order they were pushed; a plain [`std::collections::BinaryHeap`]
+//! over `(time, payload)` does not guarantee this, so every entry carries
+//! a monotonically increasing sequence number as a tiebreaker.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// One scheduled entry: ordered by time, then by insertion sequence.
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic min-heap of timed events.
+///
+/// # Examples
+///
+/// ```
+/// use rio_sim::{EventHeap, SimTime};
+///
+/// let mut heap = EventHeap::new();
+/// heap.push(SimTime::from_nanos(20), "late");
+/// heap.push(SimTime::from_nanos(10), "early");
+/// assert_eq!(heap.pop(), Some((SimTime::from_nanos(10), "early")));
+/// assert_eq!(heap.pop(), Some((SimTime::from_nanos(20), "late")));
+/// assert_eq!(heap.pop(), None);
+/// ```
+pub struct EventHeap<E> {
+    inner: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventHeap<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventHeap<E> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        EventHeap {
+            inner: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` at instant `at`.
+    pub fn push(&mut self, at: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inner.push(Entry { at, seq, event });
+    }
+
+    /// Removes and returns the earliest event, FIFO among ties.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.inner.pop().map(|e| (e.at, e.event))
+    }
+
+    /// Returns the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.inner.peek().map(|e| e.at)
+    }
+
+    /// Returns the number of pending events.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut h = EventHeap::new();
+        for &t in &[30u64, 10, 20, 5, 25] {
+            h.push(SimTime::from_nanos(t), t);
+        }
+        let mut out = Vec::new();
+        while let Some((_, v)) = h.pop() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![5, 10, 20, 25, 30]);
+    }
+
+    #[test]
+    fn fifo_among_equal_timestamps() {
+        let mut h = EventHeap::new();
+        let t = SimTime::from_nanos(7);
+        for i in 0..100 {
+            h.push(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(h.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_nanos(9), 'a');
+        h.push(SimTime::from_nanos(3), 'b');
+        assert_eq!(h.peek_time(), Some(SimTime::from_nanos(3)));
+        let (t, e) = h.pop().unwrap();
+        assert_eq!((t, e), (SimTime::from_nanos(3), 'b'));
+        assert_eq!(h.peek_time(), Some(SimTime::from_nanos(9)));
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut h = EventHeap::new();
+        assert!(h.is_empty());
+        h.push(SimTime::ZERO, ());
+        h.push(SimTime::ZERO, ());
+        assert_eq!(h.len(), 2);
+        h.clear();
+        assert!(h.is_empty());
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and ties
+        /// preserve push order.
+        #[test]
+        fn prop_stable_time_order(times in proptest::collection::vec(0u64..50, 0..200)) {
+            let mut h = EventHeap::new();
+            for (i, &t) in times.iter().enumerate() {
+                h.push(SimTime::from_nanos(t), (t, i));
+            }
+            let mut prev: Option<(u64, usize)> = None;
+            while let Some((at, (t, i))) = h.pop() {
+                prop_assert_eq!(at.as_nanos(), t);
+                if let Some((pt, pi)) = prev {
+                    prop_assert!(pt <= t);
+                    if pt == t {
+                        prop_assert!(pi < i, "FIFO violated among ties");
+                    }
+                }
+                prev = Some((t, i));
+            }
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The SSD state machine: command processing, cache, FLUSH, crash.
+//!
+//! Timing model (each `submit_*` returns the completion instant):
+//!
+//! ```text
+//! completion = cmd-processor queueing            (IOPS cap)
+//!            ⊔ flush-stall window                (device-wide FLUSH)
+//!            + cache-overflow delay              (sustained-bw cap)
+//!            + base write latency (+ jitter)
+//! ```
+//!
+//! Durability model:
+//!
+//! * PLP drives: a write is durable at completion.
+//! * Volatile-cache drives: a write is durable when (a) the background
+//!   drain has reached it (FIFO at `media_bw`), or (b) a FLUSH submitted
+//!   after its completion finishes, or (c) it was submitted with FUA.
+//! * [`Ssd::crash`] keeps the media and PMR, loses the volatile cache
+//!   and all in-flight commands.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+use rio_sim::{MultiServer, SimDuration, SimRng, SimTime};
+
+use crate::media::{BlockImage, BlockStore};
+use crate::pmr::Pmr;
+use crate::profile::SsdProfile;
+
+/// Block size used throughout the repository.
+pub const BLOCK_SIZE: u64 = 4096;
+
+/// What kind of operation an op id refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SsdOpKind {
+    /// A data write.
+    Write,
+    /// A device-wide flush.
+    Flush,
+    /// A read.
+    Read,
+    /// A discard (TRIM / recovery roll-back).
+    Discard,
+}
+
+/// Aggregate device statistics.
+#[derive(Debug, Default, Clone)]
+pub struct SsdStats {
+    /// Completed write commands.
+    pub writes: u64,
+    /// Blocks written.
+    pub blocks_written: u64,
+    /// Completed FLUSH commands.
+    pub flushes: u64,
+    /// Total simulated time spent inside FLUSHes.
+    pub flush_time: SimDuration,
+    /// Completed read commands.
+    pub reads: u64,
+    /// Completed discards.
+    pub discards: u64,
+}
+
+/// One cache entry: a write occupying the cache until drained.
+///
+/// Entries are added at submission (they consume cache space and media
+/// bandwidth immediately); `cached_at` is the write's completion time,
+/// which decides FLUSH coverage. On PLP drives entries carry no images —
+/// durability is handled by the completion-time media write — and exist
+/// only to model the bandwidth bound.
+#[derive(Debug, Clone)]
+struct CacheEntry {
+    lba: u64,
+    images: Vec<BlockImage>,
+    bytes: u64,
+    /// Submission time (FLUSH coverage: NVMe flush drains everything
+    /// the controller accepted before the flush was submitted).
+    submitted_at: SimTime,
+    /// Completion time (background-drain eligibility).
+    cached_at: SimTime,
+}
+
+/// An operation whose effects apply at completion time.
+#[derive(Debug, Clone)]
+enum PendingOp {
+    /// PLP write: blocks move to media at completion. FUA writes on
+    /// volatile drives take this path too.
+    DurableWrite { lba: u64, images: Vec<BlockImage> },
+    /// Volatile write: already sits in the cache; completion is only a
+    /// statistics event.
+    CachedWrite { blocks: u64 },
+    /// FLUSH: cache entries completed at or before `submitted` become
+    /// durable.
+    Flush { submitted: SimTime },
+    /// Bookkeeping only.
+    Stat(SsdOpKind),
+}
+
+/// The simulated NVMe SSD.
+#[derive(Debug)]
+pub struct Ssd {
+    profile: SsdProfile,
+    rng: SimRng,
+    cmd_units: MultiServer,
+    /// PLP drives: flush serialization unit.
+    flush_unit: rio_sim::FifoResource,
+    flush_busy_until: SimTime,
+    /// FIFO of writes not yet drained to media.
+    cache: VecDeque<CacheEntry>,
+    /// Total bytes currently occupying the cache.
+    cache_sum: u64,
+    /// Unspent drain budget in bytes (fractional carry).
+    drain_carry: f64,
+    last_drain_update: SimTime,
+    /// What reads observe (accepted command order).
+    logical: BlockStore,
+    /// What survives a crash.
+    media: BlockStore,
+    pmr: Pmr,
+    pending: BTreeMap<(SimTime, u64), PendingOp>,
+    next_op: u64,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Creates a device from a profile with a deterministic jitter seed.
+    pub fn new(profile: SsdProfile, seed: u64) -> Self {
+        let pmr = Pmr::new(profile.pmr_bytes);
+        Ssd {
+            cmd_units: MultiServer::new(profile.queue_processors),
+            flush_unit: rio_sim::FifoResource::new(),
+            rng: SimRng::seed_from_u64(seed),
+            flush_busy_until: SimTime::ZERO,
+            cache: VecDeque::new(),
+            cache_sum: 0,
+            drain_carry: 0.0,
+            last_drain_update: SimTime::ZERO,
+            logical: BlockStore::new(),
+            media: BlockStore::new(),
+            pmr,
+            pending: BTreeMap::new(),
+            next_op: 0,
+            stats: SsdStats::default(),
+            profile,
+        }
+    }
+
+    /// The device profile.
+    pub fn profile(&self) -> &SsdProfile {
+        &self.profile
+    }
+
+    /// Device statistics.
+    pub fn stats(&self) -> &SsdStats {
+        &self.stats
+    }
+
+    /// The PMR region.
+    pub fn pmr(&self) -> &Pmr {
+        &self.pmr
+    }
+
+    /// Mutable PMR access (target-driver MMIO writes).
+    pub fn pmr_mut(&mut self) -> &mut Pmr {
+        &mut self.pmr
+    }
+
+    /// Bytes currently occupying the write cache.
+    pub fn dirty_bytes(&self) -> u64 {
+        self.cache_sum
+    }
+
+    fn drain_entry_to_media(media: &mut BlockStore, e: CacheEntry) {
+        for (i, img) in e.images.into_iter().enumerate() {
+            media.write(e.lba + i as u64, img);
+        }
+    }
+
+    fn update_drain(&mut self, now: SimTime) {
+        let elapsed = now.since(self.last_drain_update);
+        self.last_drain_update = now;
+        if self.cache.is_empty() {
+            self.drain_carry = 0.0;
+            return;
+        }
+        self.drain_carry += elapsed.as_secs_f64() * self.profile.media_bw;
+        // The device cannot bank idle drain capacity: while the head of
+        // the cache is still in flight, budget must not pile up, or a
+        // bursty arrival pattern would sidestep the bandwidth bound.
+        // A 1 MB allowance keeps sustained drain exact as long as the
+        // clock advances at least every ~0.5 ms under load.
+        self.drain_carry = self.drain_carry.min(1024.0 * 1024.0);
+        let lag = SimDuration::from_micros_f64(self.profile.drain_lag_us);
+        while let Some(front) = self.cache.front() {
+            // Background drain only touches writes that completed at
+            // least `drain_lag` ago (FTL batching window).
+            if front.cached_at + lag > now {
+                break;
+            }
+            if (front.bytes as f64) <= self.drain_carry {
+                self.drain_carry -= front.bytes as f64;
+                let e = self.cache.pop_front().expect("front exists");
+                self.cache_sum -= e.bytes;
+                Self::drain_entry_to_media(&mut self.media, e);
+            } else {
+                break;
+            }
+        }
+        if self.cache.is_empty() {
+            self.drain_carry = 0.0;
+        }
+    }
+
+    /// Applies every effect due at or before `now`. Call before querying
+    /// durable state and at crash time.
+    pub fn advance(&mut self, now: SimTime) {
+        // Process due ops in completion order, advancing the drain clock
+        // alongside so FLUSH/drain interleavings resolve correctly.
+        loop {
+            let Some((&key, _)) = self.pending.range(..=(now, u64::MAX)).next() else {
+                break;
+            };
+            let op = self.pending.remove(&key).expect("key exists");
+            let (done_at, _) = key;
+            self.update_drain(done_at);
+            match op {
+                PendingOp::DurableWrite { lba, images } => {
+                    self.stats.writes += 1;
+                    self.stats.blocks_written += images.len() as u64;
+                    for (i, img) in images.into_iter().enumerate() {
+                        self.media.write(lba + i as u64, img);
+                    }
+                }
+                PendingOp::CachedWrite { blocks } => {
+                    self.stats.writes += 1;
+                    self.stats.blocks_written += blocks;
+                }
+                PendingOp::Flush { submitted } => {
+                    self.stats.flushes += 1;
+                    // On a volatile-cache drive, everything completed at
+                    // or before the flush submission is now durable. On
+                    // PLP drives the flush is a durability no-op and the
+                    // cache entries stay, so the media-bandwidth bound
+                    // cannot be laundered through cheap flushes.
+                    if !self.profile.plp {
+                        let mut keep = VecDeque::new();
+                        while let Some(e) = self.cache.pop_front() {
+                            if e.submitted_at <= submitted {
+                                self.cache_sum -= e.bytes;
+                                Self::drain_entry_to_media(&mut self.media, e);
+                            } else {
+                                keep.push_back(e);
+                            }
+                        }
+                        self.cache = keep;
+                    }
+                }
+                PendingOp::Stat(kind) => match kind {
+                    SsdOpKind::Read => self.stats.reads += 1,
+                    SsdOpKind::Discard => self.stats.discards += 1,
+                    _ => {}
+                },
+            }
+        }
+        self.update_drain(now);
+    }
+
+    fn op_id(&mut self) -> u64 {
+        self.next_op += 1;
+        self.next_op
+    }
+
+    fn write_latency(&mut self, blocks: u32) -> SimDuration {
+        let us = self.profile.write_us
+            + self.profile.write_us_per_extra_block * (blocks.saturating_sub(1)) as f64;
+        SimDuration::from_micros_f64(us * self.rng.jitter(self.profile.jitter))
+    }
+
+    /// Submits a write of `images` starting at `lba`. Returns the op id
+    /// and completion instant; effects apply via [`Ssd::advance`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty write, a transfer larger than the device
+    /// limit, or an out-of-range LBA.
+    pub fn submit_write(
+        &mut self,
+        now: SimTime,
+        lba: u64,
+        images: Vec<BlockImage>,
+        fua: bool,
+    ) -> (u64, SimTime) {
+        let blocks = images.len() as u32;
+        assert!(blocks > 0, "empty write");
+        assert!(
+            blocks <= self.profile.max_transfer_blocks,
+            "transfer of {blocks} blocks exceeds device limit {}",
+            self.profile.max_transfer_blocks
+        );
+        assert!(
+            lba + blocks as u64 <= self.profile.capacity_blocks,
+            "write beyond device capacity"
+        );
+        self.update_drain(now);
+        let bytes = blocks as u64 * BLOCK_SIZE;
+
+        let cmd_done = self.cmd_units.admit(
+            now,
+            SimDuration::from_micros_f64(self.profile.cmd_overhead_us),
+        );
+        let start = cmd_done.max(self.flush_busy_until);
+        // Cache overflow throttling: completion waits for drain space.
+        let projected = self.cache_sum + bytes;
+        let overflow = projected.saturating_sub(self.profile.cache_bytes);
+        let overflow_delay =
+            SimDuration::from_micros_f64(overflow as f64 / self.profile.media_bw * 1e6);
+        let completion = start + overflow_delay + self.write_latency(blocks);
+
+        // Reads observe the write in submission order immediately.
+        for (i, img) in images.iter().enumerate() {
+            self.logical.write(lba + i as u64, img.clone());
+        }
+        let id = self.op_id();
+        let durable_at_completion = self.profile.plp || fua;
+        // The cache entry models occupancy and (for volatile drives)
+        // holds the images until the drain or a FLUSH reaches them; on
+        // the durable path the completion-time media write owns them.
+        let (entry_images, op) = if durable_at_completion {
+            (Vec::new(), PendingOp::DurableWrite { lba, images })
+        } else {
+            (
+                images,
+                PendingOp::CachedWrite {
+                    blocks: blocks as u64,
+                },
+            )
+        };
+        self.cache.push_back(CacheEntry {
+            lba,
+            images: entry_images,
+            bytes,
+            submitted_at: now,
+            cached_at: completion,
+        });
+        self.cache_sum += bytes;
+        self.pending.insert((completion, id), op);
+        (id, completion)
+    }
+
+    /// Submits a device-wide FLUSH; completion drains the cache.
+    ///
+    /// On power-loss-protected drives the flush is a cheap no-op that
+    /// does not stall other commands; on volatile-cache drives it
+    /// drains the cache exclusively (the device-wide stall behind
+    /// Fig. 2(a)'s collapse).
+    pub fn submit_flush(&mut self, now: SimTime) -> (u64, SimTime) {
+        self.update_drain(now);
+        let cmd_done = self.cmd_units.admit(
+            now,
+            SimDuration::from_micros_f64(self.profile.cmd_overhead_us),
+        );
+        if self.profile.plp {
+            // Flushes do not stall writes, but they serialize on one
+            // internal unit — many threads flushing contend.
+            let dur = SimDuration::from_micros_f64(
+                self.profile.flush_base_us * self.rng.jitter(self.profile.jitter),
+            );
+            let completion = self.flush_unit.admit(cmd_done, dur);
+            self.stats.flush_time += dur;
+            let id = self.op_id();
+            self.pending
+                .insert((completion, id), PendingOp::Flush { submitted: now });
+            return (id, completion);
+        }
+        let start = cmd_done.max(self.flush_busy_until);
+        let drain_us = self.dirty_bytes() as f64 / self.profile.media_bw * 1e6;
+        let dur = SimDuration::from_micros_f64(
+            (self.profile.flush_base_us + drain_us) * self.rng.jitter(self.profile.jitter),
+        );
+        let completion = start + dur;
+        // FLUSH stalls the device: later commands queue behind it.
+        self.flush_busy_until = completion;
+        self.stats.flush_time += dur;
+        let id = self.op_id();
+        self.pending
+            .insert((completion, id), PendingOp::Flush { submitted: now });
+        (id, completion)
+    }
+
+    /// Submits a read of `count` blocks at `lba`; data reflects all
+    /// previously submitted writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or out-of-range read.
+    pub fn submit_read(
+        &mut self,
+        now: SimTime,
+        lba: u64,
+        count: u32,
+    ) -> (u64, SimTime, Vec<BlockImage>) {
+        assert!(count > 0, "empty read");
+        assert!(
+            lba + count as u64 <= self.profile.capacity_blocks,
+            "read beyond device capacity"
+        );
+        self.update_drain(now);
+        let cmd_done = self.cmd_units.admit(
+            now,
+            SimDuration::from_micros_f64(self.profile.cmd_overhead_us),
+        );
+        let start = cmd_done.max(self.flush_busy_until);
+        let us = self.profile.read_us
+            + self.profile.write_us_per_extra_block * count.saturating_sub(1) as f64;
+        let completion =
+            start + SimDuration::from_micros_f64(us * self.rng.jitter(self.profile.jitter));
+        let data = (0..count as u64)
+            .map(|i| self.logical.read(lba + i))
+            .collect();
+        let id = self.op_id();
+        self.pending
+            .insert((completion, id), PendingOp::Stat(SsdOpKind::Read));
+        (id, completion, data)
+    }
+
+    /// Discards `count` blocks at `lba` (recovery roll-back). Takes
+    /// effect immediately in both views.
+    pub fn submit_discard(&mut self, now: SimTime, lba: u64, count: u32) -> (u64, SimTime) {
+        self.update_drain(now);
+        let cmd_done = self.cmd_units.admit(
+            now,
+            SimDuration::from_micros_f64(self.profile.cmd_overhead_us),
+        );
+        self.logical.discard(lba, count as u64);
+        self.media.discard(lba, count as u64);
+        for e in &mut self.cache {
+            // Cheap approximation: a discarded range inside a cache
+            // entry zeroes the overlapping images.
+            let e_end = e.lba + e.images.len() as u64;
+            let d_end = lba + count as u64;
+            if e.lba < d_end && lba < e_end {
+                for i in 0..e.images.len() {
+                    let b = e.lba + i as u64;
+                    if b >= lba && b < d_end {
+                        e.images[i] = BlockImage::Zero;
+                    }
+                }
+            }
+        }
+        let id = self.op_id();
+        self.pending
+            .insert((cmd_done, id), PendingOp::Stat(SsdOpKind::Discard));
+        (id, cmd_done)
+    }
+
+    /// Simulates a power failure at `now`: volatile cache and in-flight
+    /// commands are lost; media and PMR survive. On PLP drives the
+    /// capacitors flush completed writes to media first.
+    pub fn crash(&mut self, now: SimTime) {
+        // Completed durable writes (PLP / FUA) land in media via advance;
+        // volatile entries whose drain point was reached land there too.
+        self.advance(now);
+        // Whatever is still in the volatile cache is lost. (PLP entries
+        // carry no images; their durability was completion-time.)
+        self.cache.clear();
+        self.cache_sum = 0;
+        self.drain_carry = 0.0;
+        self.pending.clear();
+        self.cmd_units.reset(now);
+        self.flush_unit.reset(now);
+        self.flush_busy_until = now;
+        // Reads after restart observe only what survived.
+        self.logical = self.media.clone();
+    }
+
+    /// Durable view of a block (what a post-crash read would return).
+    pub fn durable_read(&self, lba: u64) -> BlockImage {
+        self.media.read(lba)
+    }
+
+    /// Whether `lba` has durable content.
+    pub fn is_durable(&self, lba: u64) -> bool {
+        self.media.version(lba) != 0
+    }
+
+    /// Current (pre-crash) logical view of a block.
+    pub fn logical_read(&self, lba: u64) -> BlockImage {
+        self.logical.read(lba)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(us: u64) -> SimTime {
+        SimTime::from_nanos(us * 1000)
+    }
+
+    fn ssd(profile: SsdProfile) -> Ssd {
+        Ssd::new(profile, 42)
+    }
+
+    fn one_block(tag: u64) -> Vec<BlockImage> {
+        vec![BlockImage::Tag(tag)]
+    }
+
+    #[test]
+    fn unsaturated_write_latency_near_profile() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 0, one_block(1), false);
+        let us = done.as_micros_f64();
+        // cmd overhead + ~10 us write, ±jitter.
+        assert!((9.0..16.0).contains(&us), "latency was {us} us");
+    }
+
+    #[test]
+    fn plp_write_durable_after_completion() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        s.advance(done);
+        assert!(s.is_durable(5));
+        assert_eq!(s.durable_read(5), BlockImage::Tag(9));
+    }
+
+    #[test]
+    fn volatile_write_lost_on_crash_without_flush() {
+        let mut s = ssd(SsdProfile::pm981());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        // Crash shortly after completion: the drain has not reached it.
+        s.crash(done + SimDuration::from_micros(1));
+        assert!(!s.is_durable(5), "volatile cache must be lost");
+        assert_eq!(s.logical_read(5), BlockImage::Zero);
+    }
+
+    #[test]
+    fn flush_makes_prior_writes_durable() {
+        let mut s = ssd(SsdProfile::pm981());
+        let (_, w_done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        let (_, f_done) = s.submit_flush(w_done);
+        s.advance(f_done);
+        s.crash(f_done + SimDuration::from_micros(1));
+        assert!(s.is_durable(5), "flushed write survives");
+        assert_eq!(s.durable_read(5), BlockImage::Tag(9));
+    }
+
+    #[test]
+    fn flush_does_not_cover_later_writes() {
+        let mut s = ssd(SsdProfile::pm981());
+        let (_, f_done) = s.submit_flush(SimTime::ZERO);
+        // Submitted after the flush, completes after it too.
+        let (_, w_done) = s.submit_write(t(1), 7, one_block(3), false);
+        assert!(w_done > f_done, "flush stalls the write");
+        s.crash(w_done + SimDuration::from_micros(1));
+        assert!(!s.is_durable(7));
+    }
+
+    #[test]
+    fn fua_write_durable_on_volatile_drive() {
+        let mut s = ssd(SsdProfile::pm981());
+        let (_, done) = s.submit_write(SimTime::ZERO, 3, one_block(1), true);
+        s.crash(done + SimDuration::from_micros(1));
+        assert!(s.is_durable(3), "FUA bypasses the volatile cache");
+    }
+
+    #[test]
+    fn background_drain_eventually_persists() {
+        let mut s = ssd(SsdProfile::pm981());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        // Wait far longer than 4 KB / 600 MB/s.
+        s.crash(done + SimDuration::from_millis(100));
+        assert!(s.is_durable(5), "drained write survives without FLUSH");
+    }
+
+    #[test]
+    fn plp_crash_preserves_completed_cache() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        s.crash(done);
+        assert!(s.is_durable(5));
+    }
+
+    #[test]
+    fn in_flight_write_lost_on_crash_even_with_plp() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        // Crash before completion.
+        s.crash(SimTime::from_nanos(done.as_nanos() / 2));
+        assert!(!s.is_durable(5), "incomplete command has no durability");
+    }
+
+    #[test]
+    fn sustained_throughput_bounded_by_media_bw() {
+        // A small cache makes the steady state dominate quickly.
+        let mut p = SsdProfile::pm981();
+        p.cache_bytes = 4 * 1024 * 1024;
+        let media_bw = p.media_bw;
+        let mut s = ssd(p);
+        // Stream 128 MB of 16 KB writes back to back (QD 1).
+        let mut now = SimTime::ZERO;
+        let n: u64 = 8192;
+        for i in 0..n {
+            let images = vec![BlockImage::Tag(i); 4];
+            let (_, done) = s.submit_write(now, i * 4, images, false);
+            now = done;
+        }
+        let achieved = n as f64 * 4.0 * 4096.0 / now.as_secs_f64();
+        assert!(
+            achieved < media_bw * 1.15,
+            "throughput {achieved:.0} B/s exceeds media bw {media_bw:.0}"
+        );
+        assert!(
+            achieved > media_bw * 0.5,
+            "throughput {achieved:.0} B/s unreasonably low"
+        );
+    }
+
+    #[test]
+    fn flush_cost_scales_with_dirty_bytes() {
+        let mut s = ssd(SsdProfile::pm981());
+        // Empty-cache flush.
+        let (_, f0) = s.submit_flush(SimTime::ZERO);
+        let empty_cost = f0.since(SimTime::ZERO);
+        // Dirty ~8 MB, then flush.
+        let mut now = f0;
+        for i in 0..64 {
+            let (_, done) = s.submit_write(now, i * 32, vec![BlockImage::Tag(i); 32], false);
+            now = done;
+        }
+        let (_, f1) = s.submit_flush(now);
+        let full_cost = f1.since(now);
+        assert!(
+            full_cost.as_nanos() > empty_cost.as_nanos() * 3,
+            "flush with dirty cache ({full_cost}) must dwarf empty flush ({empty_cost})"
+        );
+    }
+
+    #[test]
+    fn optane_flush_is_cheap() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, w) = s.submit_write(SimTime::ZERO, 0, one_block(1), false);
+        let (_, f) = s.submit_flush(w);
+        let cost = f.since(w).as_micros_f64();
+        assert!(cost < 12.0, "PLP flush should be ~free, got {cost} us");
+    }
+
+    #[test]
+    fn reads_observe_submission_order() {
+        let mut s = ssd(SsdProfile::pm981());
+        s.submit_write(SimTime::ZERO, 9, one_block(1), false);
+        s.submit_write(SimTime::ZERO, 9, one_block(2), false);
+        let (_, _, data) = s.submit_read(t(1), 9, 1);
+        assert_eq!(data[0], BlockImage::Tag(2), "last submitted write wins");
+    }
+
+    #[test]
+    fn discard_erases_everywhere() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 4, one_block(7), false);
+        s.advance(done);
+        s.submit_discard(done, 4, 1);
+        assert!(!s.is_durable(4));
+        assert_eq!(s.logical_read(4), BlockImage::Zero);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds device limit")]
+    fn oversized_transfer_rejected() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let images = vec![BlockImage::Zero; 33];
+        s.submit_write(SimTime::ZERO, 0, images, false);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond device capacity")]
+    fn out_of_range_write_rejected() {
+        let p = SsdProfile::optane905p();
+        let cap = p.capacity_blocks;
+        let mut s = ssd(p);
+        s.submit_write(SimTime::ZERO, cap, one_block(1), false);
+    }
+
+    #[test]
+    fn pmr_survives_crash() {
+        let mut s = ssd(SsdProfile::pm981());
+        s.pmr_mut().mmio_write(0, &[1, 2, 3, 4]);
+        s.crash(t(10));
+        assert_eq!(s.pmr().mmio_read(0, 4), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, w) = s.submit_write(SimTime::ZERO, 0, one_block(1), false);
+        let (_, f) = s.submit_flush(w);
+        let (_, r, _) = s.submit_read(f, 0, 1);
+        s.advance(r + SimDuration::from_micros(100));
+        assert_eq!(s.stats().writes, 1);
+        assert_eq!(s.stats().flushes, 1);
+        assert_eq!(s.stats().reads, 1);
+        assert_eq!(s.stats().blocks_written, 1);
+    }
+
+    #[test]
+    fn iops_cap_enforced_by_cmd_units() {
+        let p = SsdProfile::optane905p();
+        let cap = p.iops_cap();
+        let mut s = ssd(p);
+        let n: u64 = 20_000;
+        let mut last = SimTime::ZERO;
+        for i in 0..n {
+            let (_, done) = s.submit_write(SimTime::ZERO, i, one_block(i), false);
+            last = last.max(done);
+        }
+        let achieved = n as f64 / last.as_secs_f64();
+        assert!(
+            achieved < cap * 1.1,
+            "IOPS {achieved:.0} exceeds cap {cap:.0}"
+        );
+    }
+}

@@ -1,0 +1,1636 @@
+//! The event-driven cluster: initiator, targets, and the four ordering
+//! engines over one shared data path.
+//!
+//! Every software step charges a per-core FIFO resource; every wire and
+//! device time comes from the passive `rio-net`/`rio-ssd` models. The
+//! event heap only sequences *causality*: command arrival at the
+//! target, SSD completion, completion arrival back at the initiator,
+//! and thread wake-ups.
+//!
+//! Data path of one ordered write under Rio (Fig. 4):
+//!
+//! ```text
+//! thread: sequencer.submit → ORDER queue → [batch flush] → merge →
+//!         stripe/split → stamp_dispatch → SEND (stream-pinned QP) ───┐
+//! target: RECV ─ gate.arrive ─ PMR append ─ RDMA READ data ─ SSD    │
+//!         write [─ FLUSH] ─ persist toggle ─ completion SEND ───────┘
+//! initiator: IRQ → fragment rejoin → in-order completer → deliver
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+
+use rio_block::{Plug, StripedVolume};
+use rio_net::{Fabric, Nic};
+use rio_order::attr::{BlockRange, OrderingAttr, Seq, ServerId, StreamId};
+use rio_order::pmrlog::{PmrLog, SlotRef};
+use rio_order::scheduler::{split_attr, OrderQueue, OrderQueueConfig};
+use rio_order::sequencer::SubmitOpts;
+use rio_order::{InOrderCompleter, Sequencer, SubmissionGate};
+use rio_sim::{EventHeap, Histogram, SimRng, SimTime};
+use rio_ssd::{BlockImage, Ssd};
+
+use crate::config::{ClusterConfig, OrderingMode};
+use crate::cpu::CoreSet;
+use crate::metrics::RunMetrics;
+use crate::workload::{FsyncStage, GroupSpec, Workload};
+
+/// Simulation events.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    /// A thread (re)considers submitting work.
+    Resume(usize),
+    /// A command SEND was delivered at its target.
+    CmdArrive(u64),
+    /// A command is ready for SSD submission (gate passed + data in).
+    SsdSubmit(u64),
+    /// A command's embedded FLUSH may be submitted.
+    SsdFlushSubmit(u64),
+    /// A command's SSD write finished.
+    SsdWriteDone(u64),
+    /// A command's embedded FLUSH finished.
+    SsdFlushDone(u64),
+    /// A completion SEND was delivered at the initiator.
+    CmdComplete(u64),
+    /// A Horae control message was delivered at its target.
+    CtrlArrive { target: usize, thread: usize },
+    /// A Horae control acknowledgement reached the initiator.
+    CtrlAck { thread: usize },
+}
+
+/// Command kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmdKind {
+    Write,
+    Flush,
+}
+
+/// One in-flight NVMe-oF command.
+#[derive(Debug)]
+struct Cmd {
+    kind: CmdKind,
+    thread: usize,
+    target: usize,
+    ssd: usize,
+    qp: usize,
+    phys: BlockRange,
+    tag: u64,
+    /// Rio ordering attribute (None on baseline paths).
+    attr: Option<OrderingAttr>,
+    /// Embedded FLUSH (fsync-style final request).
+    flush_embedded: bool,
+    /// Initiator-side unit this command belongs to.
+    unit: u64,
+    /// When the pulled data is in target memory.
+    data_ready: SimTime,
+    /// PMR log slot holding this command's ordering record.
+    slot: Option<SlotRef>,
+}
+
+/// One logical dispatch unit: a (possibly merged) request whose
+/// fragments all must complete before the unit completes.
+#[derive(Debug)]
+struct Unit {
+    /// Original logical attributes to unroll into the completer (Rio).
+    parts: Vec<OrderingAttr>,
+    /// Orderless/baseline accounting: groups and blocks this unit
+    /// represents.
+    plain_groups: u64,
+    blocks: u32,
+    fragments_total: usize,
+    fragments_done: usize,
+    submitted: SimTime,
+}
+
+/// Per-group bookkeeping for latency and window accounting (Rio).
+#[derive(Debug, Clone, Copy)]
+struct GroupInfo {
+    blocks: u32,
+    submitted: SimTime,
+    thread: usize,
+    stage: Option<FsyncStage>,
+}
+
+/// Synchronous-mode thread stage (Linux NVMe-oF).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SyncStage {
+    Idle,
+    AwaitWrite,
+    AwaitFlush { remaining: usize },
+}
+
+/// Per-thread state.
+struct ThreadState {
+    core: usize,
+    stream: StreamId,
+    /// Next script unit (op) index to generate.
+    next_op: u64,
+    /// Generated-but-unsubmitted groups of the current/pending ops.
+    queue: VecDeque<GroupSpec>,
+    inflight: usize,
+    area_start: u64,
+    area_blocks: u64,
+    rng: SimRng,
+    parked: bool,
+    done_submitting: bool,
+    sync_stage: SyncStage,
+    /// The thread issued a sync point and waits for inflight == 0.
+    syncing: bool,
+    /// Start of the current fsync op (D submission).
+    op_start: SimTime,
+    /// Dispatch timestamps of the current op's stages.
+    stage_marks: [Option<SimTime>; 3],
+    /// Linux mode: whether the in-flight group needs a FLUSH leg and
+    /// whether it ends an op.
+    cur_flush_leg: bool,
+    cur_sync_after: bool,
+    /// Horae: group specs whose control ack is pending / data not yet
+    /// dispatched.
+    ctrl_pending: VecDeque<(GroupSpec, SimTime)>,
+    ctrl_outstanding: bool,
+    /// Horae: earliest instant the next control post may issue (the
+    /// serialized ordering-layer gap).
+    ctrl_gate_until: SimTime,
+}
+
+/// One target server.
+struct Target {
+    cores: CoreSet,
+    nic: Nic,
+    gate: SubmissionGate,
+    ssds: Vec<Ssd>,
+    log: Option<PmrLog>,
+    /// Live PMR slots per stream, in append order.
+    slots: HashMap<u16, VecDeque<(u32, SlotRef)>>,
+    /// Last release (head-seq) applied per stream.
+    applied_release: HashMap<u16, u32>,
+}
+
+impl Target {
+    fn apply_pmr_write(&mut self, w: &rio_order::pmrlog::PmrWrite) {
+        self.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
+    }
+}
+
+/// The simulated cluster.
+pub struct Cluster {
+    cfg: ClusterConfig,
+    workload: Workload,
+    events: EventHeap<Event>,
+    fabric: Fabric,
+    init_cores: CoreSet,
+    init_nic: Nic,
+    volume: StripedVolume,
+    sequencer: Sequencer,
+    completer: InOrderCompleter,
+    order_queues: Vec<OrderQueue>,
+    released_through: Vec<u32>,
+    threads: Vec<ThreadState>,
+    targets: Vec<Target>,
+    cmds: HashMap<u64, Cmd>,
+    next_cmd: u64,
+    units: HashMap<u64, Unit>,
+    next_unit: u64,
+    group_info: HashMap<(u16, u32), GroupInfo>,
+    /// Round-robin cursor for the scatter (non-pinned) QP policy.
+    scatter_qp: u64,
+    // Metrics.
+    groups_done: u64,
+    blocks_done: u64,
+    ops_done: u64,
+    commands_sent: u64,
+    ctrl_sent: u64,
+    group_latency: Histogram,
+    op_latency: Histogram,
+    stage_lat: [rio_sim::MeanAccum; 4],
+    last_completion: SimTime,
+    /// Optional simulation stop time (crash experiments).
+    stop_at: Option<SimTime>,
+}
+
+impl Cluster {
+    /// Builds a cluster for `cfg` running `workload`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent configuration (zero threads, streams
+    /// fewer than threads, or targets without SSDs).
+    pub fn new(cfg: ClusterConfig, workload: Workload) -> Self {
+        assert!(workload.threads > 0, "need at least one thread");
+        assert!(
+            cfg.streams >= workload.threads,
+            "need one stream per thread"
+        );
+        assert!(!cfg.targets.is_empty(), "need at least one target");
+        let mut root_rng = SimRng::seed_from_u64(cfg.seed);
+        let fabric = Fabric::new(cfg.fabric.clone(), root_rng.below(u64::MAX));
+
+        // Volume: stripe across every SSD of every target.
+        let mut legs = Vec::new();
+        let mut min_cap = u64::MAX;
+        for (t, tc) in cfg.targets.iter().enumerate() {
+            assert!(!tc.ssds.is_empty(), "target {t} has no SSDs");
+            for (s, prof) in tc.ssds.iter().enumerate() {
+                legs.push((ServerId(t as u16), s));
+                min_cap = min_cap.min(prof.capacity_blocks);
+            }
+        }
+        let volume = StripedVolume::new(legs, cfg.stripe_blocks, min_cap);
+
+        let n_targets = cfg.targets.len();
+        let targets: Vec<Target> = cfg
+            .targets
+            .iter()
+            .map(|tc| {
+                let ssds: Vec<Ssd> = tc
+                    .ssds
+                    .iter()
+                    .map(|p| Ssd::new(p.clone(), root_rng.below(u64::MAX)))
+                    .collect();
+                let log = if matches!(cfg.mode, OrderingMode::Rio { .. }) {
+                    let pmr_len = ssds[0].pmr().len();
+                    let (log, writes) = PmrLog::format(pmr_len, cfg.streams);
+                    let mut t = Target {
+                        cores: CoreSet::new(tc.cores),
+                        nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
+                        gate: SubmissionGate::new(),
+                        ssds,
+                        log: None,
+                        slots: HashMap::new(),
+                        applied_release: HashMap::new(),
+                    };
+                    for w in &writes {
+                        t.apply_pmr_write(w);
+                    }
+                    t.log = Some(log);
+                    return t;
+                } else {
+                    None
+                };
+                Target {
+                    cores: CoreSet::new(tc.cores),
+                    nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
+                    gate: SubmissionGate::new(),
+                    ssds,
+                    log,
+                    slots: HashMap::new(),
+                    applied_release: HashMap::new(),
+                }
+            })
+            .collect();
+
+        let per_thread_blocks = volume.capacity_blocks() / workload.threads as u64;
+        let threads: Vec<ThreadState> = (0..workload.threads)
+            .map(|i| ThreadState {
+                core: i % cfg.initiator_cores,
+                stream: StreamId(i as u16),
+                next_op: 0,
+                queue: VecDeque::new(),
+                inflight: 0,
+                area_start: i as u64 * per_thread_blocks,
+                area_blocks: per_thread_blocks,
+                rng: root_rng.fork(),
+                parked: false,
+                done_submitting: false,
+                sync_stage: SyncStage::Idle,
+                syncing: false,
+                op_start: SimTime::ZERO,
+                stage_marks: [None; 3],
+                cur_flush_leg: false,
+                cur_sync_after: false,
+                ctrl_pending: VecDeque::new(),
+                ctrl_outstanding: false,
+                ctrl_gate_until: SimTime::ZERO,
+            })
+            .collect();
+
+        let merge = matches!(cfg.mode, OrderingMode::Rio { merge: true });
+        let order_queues = (0..cfg.streams)
+            .map(|s| {
+                OrderQueue::new(
+                    StreamId(s as u16),
+                    OrderQueueConfig {
+                        merge,
+                        max_merge_blocks: 32,
+                    },
+                )
+            })
+            .collect();
+
+        Cluster {
+            sequencer: Sequencer::new(cfg.streams, n_targets),
+            completer: InOrderCompleter::new(cfg.streams),
+            order_queues,
+            released_through: vec![0; cfg.streams],
+            init_cores: CoreSet::new(cfg.initiator_cores),
+            init_nic: Nic::new(n_targets * cfg.qps_per_target, cfg.fabric.bandwidth),
+            volume,
+            threads,
+            targets,
+            cmds: HashMap::new(),
+            next_cmd: 0,
+            units: HashMap::new(),
+            next_unit: 0,
+            group_info: HashMap::new(),
+            scatter_qp: 0,
+            groups_done: 0,
+            blocks_done: 0,
+            ops_done: 0,
+            commands_sent: 0,
+            ctrl_sent: 0,
+            group_latency: Histogram::new(),
+            op_latency: Histogram::new(),
+            stage_lat: Default::default(),
+            last_completion: SimTime::ZERO,
+            events: EventHeap::new(),
+            fabric,
+            cfg,
+            workload,
+            stop_at: None,
+        }
+    }
+
+    /// Runs the workload to completion and returns metrics.
+    pub fn run(mut self) -> RunMetrics {
+        self.start();
+        while let Some((now, ev)) = self.events.pop() {
+            if let Some(stop) = self.stop_at {
+                if now > stop {
+                    break;
+                }
+            }
+            self.handle(now, ev);
+        }
+        self.metrics()
+    }
+
+    /// Schedules the initial thread wake-ups.
+    pub(crate) fn start(&mut self) {
+        for t in 0..self.threads.len() {
+            self.events.push(SimTime::ZERO, Event::Resume(t));
+        }
+    }
+
+    /// Runs until the event heap drains or `deadline` passes; returns
+    /// the virtual time reached (crash experiments).
+    pub(crate) fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        let mut reached = SimTime::ZERO;
+        while let Some(t) = self.events.peek_time() {
+            if t > deadline {
+                return deadline;
+            }
+            let (now, ev) = self.events.pop().expect("peeked");
+            self.handle(now, ev);
+            reached = now;
+        }
+        reached
+    }
+
+    /// Builds the final metrics snapshot.
+    pub(crate) fn metrics(&mut self) -> RunMetrics {
+        // Settle device-internal effects (stats, drains) up to the end.
+        for t in &mut self.targets {
+            for ssd in &mut t.ssds {
+                ssd.advance(self.last_completion);
+            }
+        }
+        let span = self.last_completion.since(SimTime::ZERO);
+        let target_util = if self.targets.is_empty() {
+            0.0
+        } else {
+            self.targets
+                .iter()
+                .map(|t| t.cores.utilization(span))
+                .sum::<f64>()
+                / self.targets.len() as f64
+        };
+        let gate_buffered: u64 = self
+            .targets
+            .iter()
+            .map(|t| t.gate.total_buffered_events())
+            .sum();
+        RunMetrics {
+            blocks_done: self.blocks_done,
+            groups_done: self.groups_done,
+            ops_done: self.ops_done,
+            gate_buffered,
+            commands_sent: self.commands_sent,
+            span,
+            group_latency: self.group_latency.clone(),
+            op_latency: self.op_latency.clone(),
+            stage_dispatch: self.stage_lat.clone(),
+            initiator_util: self.init_cores.utilization(span),
+            target_util,
+            finished_at: self.last_completion,
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Event) {
+        match ev {
+            Event::Resume(t) => self.on_resume(now, t),
+            Event::CmdArrive(c) => self.on_cmd_arrive(now, c),
+            Event::SsdSubmit(c) => self.on_ssd_submit(now, c),
+            Event::SsdFlushSubmit(c) => self.on_ssd_flush_submit(now, c),
+            Event::SsdWriteDone(c) => self.on_ssd_write_done(now, c),
+            Event::SsdFlushDone(c) => self.on_ssd_flush_done(now, c),
+            Event::CmdComplete(c) => self.on_cmd_complete(now, c),
+            Event::CtrlArrive { target, thread } => self.on_ctrl_arrive(now, target, thread),
+            Event::CtrlAck { thread } => self.on_ctrl_ack(now, thread),
+        }
+    }
+
+    // ---- submission side -------------------------------------------------
+
+    fn on_resume(&mut self, now: SimTime, t: usize) {
+        self.threads[t].parked = false;
+        match self.cfg.mode.clone() {
+            OrderingMode::Rio { .. } => self.submit_async_rio(now, t),
+            OrderingMode::Orderless => self.submit_async_orderless(now, t),
+            OrderingMode::Horae => self.submit_horae(now, t),
+            OrderingMode::LinuxNvmf => self.submit_linux(now, t),
+        }
+    }
+
+    fn thread_has_work(&self, t: usize) -> bool {
+        !self.threads[t].queue.is_empty()
+            || self.threads[t].next_op < self.workload.groups_per_thread
+    }
+
+    /// Pops the next group to submit, generating the next script unit
+    /// when the queue runs dry.
+    fn next_group_spec(&mut self, t: usize) -> GroupSpec {
+        if self.threads[t].queue.is_empty() {
+            let th = &mut self.threads[t];
+            let groups = self
+                .workload
+                .op(th.next_op, th.area_start, th.area_blocks, &mut th.rng);
+            th.next_op += 1;
+            th.queue.extend(groups);
+        }
+        self.threads[t].queue.pop_front().expect("queue refilled")
+    }
+
+    /// Charges per-op application CPU and tracks fsync op starts.
+    fn note_group_start(&mut self, mut cpu: SimTime, t: usize, spec: &GroupSpec) -> SimTime {
+        if spec.app_cpu_ns > 0 {
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, spec.app_cpu_ns);
+        }
+        let first_stage = matches!(spec.stage, Some(FsyncStage::Data))
+            || (matches!(spec.stage, Some(FsyncStage::Meta))
+                && self.threads[t].stage_marks[0].is_none()
+                && self.threads[t].op_start == SimTime::ZERO)
+            || (spec.stage.is_some()
+                && self.threads[t].stage_marks.iter().all(|m| m.is_none())
+                && !self.threads[t].syncing);
+        if spec.stage.is_some() && first_stage && self.threads[t].op_start == SimTime::ZERO {
+            self.threads[t].op_start = cpu;
+        }
+        cpu
+    }
+
+    /// Records the dispatch mark of an fsync stage.
+    fn mark_stage(&mut self, t: usize, stage: FsyncStage, at: SimTime) {
+        let idx = match stage {
+            FsyncStage::Data => 0,
+            FsyncStage::Meta => 1,
+            FsyncStage::Commit => 2,
+        };
+        if self.threads[t].stage_marks[idx].is_none() {
+            self.threads[t].stage_marks[idx] = Some(at);
+        }
+    }
+
+    /// Finishes the current fsync op at `now` (the sync point cleared).
+    fn finish_op(&mut self, t: usize, now: SimTime) {
+        let th = &self.threads[t];
+        let start = th.op_start;
+        let marks = th.stage_marks;
+        self.ops_done += 1;
+        if start != SimTime::ZERO || marks.iter().any(|m| m.is_some()) {
+            self.op_latency.record(now.since(start));
+            let mut prev = start;
+            for (i, m) in marks.iter().enumerate() {
+                if let Some(at) = m {
+                    self.stage_lat[i].record(at.since(prev).as_nanos() as f64);
+                    prev = *at;
+                }
+            }
+            self.stage_lat[3].record(now.since(prev).as_nanos() as f64);
+        }
+        let th = &mut self.threads[t];
+        th.op_start = SimTime::ZERO;
+        th.stage_marks = [None; 3];
+    }
+
+    /// Rio: submit batches through the sequencer and ORDER queue.
+    fn submit_async_rio(&mut self, now: SimTime, t: usize) {
+        if self.threads[t].syncing {
+            self.threads[t].parked = true;
+            return;
+        }
+        let window = self.cfg.max_inflight_per_stream;
+        let mut cpu = now;
+        'outer: while self.threads[t].inflight < window && self.thread_has_work(t) {
+            let batch = self.workload.batch.max(1);
+            let mut submitted = 0;
+            let mut hit_sync = false;
+            while submitted < batch && self.threads[t].inflight < window && self.thread_has_work(t)
+            {
+                let spec = self.next_group_spec(t);
+                cpu = self.note_group_start(cpu, t, &spec);
+                let stream = self.threads[t].stream;
+                let n = spec.members.len();
+                let blocks = spec.blocks();
+                for (i, m) in spec.members.iter().enumerate() {
+                    let last = i == n - 1;
+                    cpu = self.init_cores.run_on(
+                        self.threads[t].core,
+                        cpu,
+                        self.cfg.cpu.submit_bio + self.cfg.cpu.order_queue,
+                    );
+                    let attr = self.sequencer.submit(
+                        stream,
+                        m.range,
+                        SubmitOpts {
+                            end_group: last,
+                            ipu: false,
+                            flush: last && spec.flush,
+                        },
+                    );
+                    if last {
+                        self.group_info.insert(
+                            (stream.0, attr.seq_start.0),
+                            GroupInfo {
+                                blocks,
+                                submitted: cpu,
+                                thread: t,
+                                stage: spec.stage,
+                            },
+                        );
+                    }
+                    self.order_queues[stream.0 as usize].push(attr, 0);
+                }
+                self.threads[t].inflight += 1;
+                submitted += 1;
+                if spec.sync_after {
+                    hit_sync = true;
+                    break;
+                }
+            }
+            // Flush the ORDER queue: merge pass + dispatch.
+            let stream = self.threads[t].stream;
+            let units = self.order_queues[stream.0 as usize].flush();
+            for unit in units {
+                let merged_extra = unit.parts.len().saturating_sub(1) as u64;
+                if merged_extra > 0 {
+                    cpu = self.init_cores.run_on(
+                        self.threads[t].core,
+                        cpu,
+                        self.cfg.cpu.merge_per_bio * merged_extra,
+                    );
+                }
+                cpu = self.dispatch_rio_unit(cpu, t, unit);
+            }
+            if hit_sync {
+                self.threads[t].syncing = true;
+                self.threads[t].parked = true;
+                if self.threads[t].inflight == 0 {
+                    // Degenerate: everything already completed.
+                    self.threads[t].syncing = false;
+                    self.finish_op(t, cpu);
+                    self.threads[t].parked = false;
+                    continue 'outer;
+                }
+                return;
+            }
+        }
+        if self.thread_has_work(t) || self.threads[t].inflight > 0 {
+            self.threads[t].parked = true;
+        } else {
+            self.threads[t].done_submitting = true;
+        }
+    }
+
+    /// Dispatches one Rio unit: stripe, split, stamp, send fragments.
+    fn dispatch_rio_unit(
+        &mut self,
+        mut cpu: SimTime,
+        t: usize,
+        unit: rio_order::DispatchUnit,
+    ) -> SimTime {
+        let attr = unit.attr;
+        let extents = self.chunked_extents(attr.range);
+        // Build logical slices for the splitter, then graft physical
+        // ranges onto the fragments.
+        let slices: Vec<BlockRange> = {
+            let mut out = Vec::with_capacity(extents.len());
+            let mut off = 0u64;
+            for e in &extents {
+                out.push(BlockRange::new(attr.range.lba + off, e.range.blocks));
+                off += e.range.blocks as u64;
+            }
+            out
+        };
+        let mut frags = split_attr(&attr, &slices);
+        let blocks_total: u32 = attr.range.blocks;
+        let unit_id = self.next_unit;
+        self.next_unit += 1;
+        self.units.insert(
+            unit_id,
+            Unit {
+                parts: unit.parts.iter().map(|p| p.attr).collect(),
+                plain_groups: 0,
+                blocks: blocks_total,
+                fragments_total: frags.len(),
+                fragments_done: 0,
+                submitted: cpu,
+            },
+        );
+        // Stage dispatch marks for the Fig. 14 breakdown.
+        let stage_seqs: Vec<(u16, u32)> = unit
+            .parts
+            .iter()
+            .filter(|p| p.attr.boundary)
+            .map(|p| (p.attr.stream.0, p.attr.seq_start.0))
+            .collect();
+        for (frag, ext) in frags.iter_mut().zip(extents.iter()) {
+            frag.range = ext.range;
+            frag.ssd = ext.ssd as u8;
+            self.sequencer.stamp_dispatch(frag, ext.server);
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+            let qp = self.pick_qp(self.threads[t].stream.0 as usize);
+            self.send_cmd(
+                cpu,
+                Cmd {
+                    kind: CmdKind::Write,
+                    thread: t,
+                    target: ext.server.0 as usize,
+                    ssd: ext.ssd,
+                    qp,
+                    phys: ext.range,
+                    tag: frag.seq_start.0 as u64,
+                    attr: Some(*frag),
+                    flush_embedded: frag.flush,
+                    unit: unit_id,
+                    data_ready: SimTime::FAR_FUTURE,
+                    slot: None,
+                },
+            );
+        }
+        for key in stage_seqs {
+            if let Some(info) = self.group_info.get(&key) {
+                if let Some(stage) = info.stage {
+                    self.mark_stage(t, stage, cpu);
+                }
+            }
+        }
+        cpu
+    }
+
+    /// Orderless: plug batching and merging, then async dispatch.
+    fn submit_async_orderless(&mut self, now: SimTime, t: usize) {
+        if self.threads[t].syncing {
+            self.threads[t].parked = true;
+            return;
+        }
+        let window = self.cfg.max_inflight_per_stream;
+        let mut cpu = now;
+        while self.threads[t].inflight < window && self.thread_has_work(t) {
+            let batch = self.workload.batch.max(1);
+            let mut plug = Plug::new();
+            let mut groups_in_batch = 0u64;
+            let mut bio_id = 0u64;
+            let mut hit_sync = false;
+            while groups_in_batch < batch as u64
+                && self.threads[t].inflight < window
+                && self.thread_has_work(t)
+            {
+                let spec = self.next_group_spec(t);
+                cpu = self.note_group_start(cpu, t, &spec);
+                for m in &spec.members {
+                    cpu =
+                        self.init_cores
+                            .run_on(self.threads[t].core, cpu, self.cfg.cpu.submit_bio);
+                    let mut bio = rio_block::Bio::write(bio_id, m.range, bio_id);
+                    bio.flags.flush = spec.flush;
+                    plug.add(bio);
+                    bio_id += 1;
+                }
+                self.threads[t].inflight += 1;
+                groups_in_batch += 1;
+                if let Some(stage) = spec.stage {
+                    self.mark_stage(t, stage, cpu);
+                }
+                if spec.sync_after {
+                    hit_sync = true;
+                    break;
+                }
+            }
+            let max_blocks = if self.cfg.plug_merge { 32 } else { 1 };
+            let runs = plug.finish(max_blocks);
+            for run in runs {
+                let merged_extra = run.bios.len().saturating_sub(1) as u64;
+                if merged_extra > 0 {
+                    cpu = self.init_cores.run_on(
+                        self.threads[t].core,
+                        cpu,
+                        self.cfg.cpu.merge_per_bio * merged_extra,
+                    );
+                }
+                let flush = run.bios.iter().any(|b| b.flags.flush);
+                cpu = self.dispatch_plain_unit(cpu, t, run.range, run.bios.len() as u64, flush);
+            }
+            if hit_sync {
+                self.threads[t].syncing = true;
+                self.threads[t].parked = true;
+                if self.threads[t].inflight == 0 {
+                    self.threads[t].syncing = false;
+                    self.finish_op(t, cpu);
+                    self.threads[t].parked = false;
+                    continue;
+                }
+                return;
+            }
+        }
+        if self.thread_has_work(t) || self.threads[t].inflight > 0 {
+            self.threads[t].parked = true;
+        } else {
+            self.threads[t].done_submitting = true;
+        }
+    }
+
+    /// Dispatches one orderless/baseline write covering `range`,
+    /// representing `groups` workload groups. Returns the CPU cursor.
+    fn dispatch_plain_unit(
+        &mut self,
+        mut cpu: SimTime,
+        t: usize,
+        range: BlockRange,
+        groups: u64,
+        flush_embedded: bool,
+    ) -> SimTime {
+        let extents = self.chunked_extents(range);
+        let unit_id = self.next_unit;
+        self.next_unit += 1;
+        self.units.insert(
+            unit_id,
+            Unit {
+                parts: Vec::new(),
+                plain_groups: groups,
+                blocks: range.blocks,
+                fragments_total: extents.len(),
+                fragments_done: 0,
+                submitted: cpu,
+            },
+        );
+        for ext in extents {
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+            let qp = self.pick_qp(self.threads[t].stream.0 as usize);
+            self.send_cmd(
+                cpu,
+                Cmd {
+                    kind: CmdKind::Write,
+                    thread: t,
+                    target: ext.server.0 as usize,
+                    ssd: ext.ssd,
+                    qp,
+                    phys: ext.range,
+                    tag: unit_id,
+                    attr: None,
+                    flush_embedded,
+                    unit: unit_id,
+                    data_ready: SimTime::FAR_FUTURE,
+                    slot: None,
+                },
+            );
+        }
+        cpu
+    }
+
+    /// Linux ordered NVMe-oF: one group at a time, completion + FLUSH.
+    ///
+    /// Block-level ordered workloads flush after every request (the
+    /// classic ordered NVMe-oF of §2.2). File-system journaling flushes
+    /// only on the commit record, like Ext4's sync transfer.
+    fn submit_linux(&mut self, now: SimTime, t: usize) {
+        if self.threads[t].sync_stage != SyncStage::Idle {
+            return;
+        }
+        if !self.thread_has_work(t) {
+            self.threads[t].done_submitting = true;
+            return;
+        }
+        let spec = self.next_group_spec(t);
+        let mut cpu = self.note_group_start(now, t, &spec);
+        // Journaling stages pay the jbd2 kthread handoff (wakeup of the
+        // journal thread plus the completion softirq).
+        if spec.stage.is_some() {
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, 2 * self.cfg.cpu.ctx_switch);
+        }
+        self.threads[t].inflight += 1;
+        self.threads[t].sync_stage = SyncStage::AwaitWrite;
+        self.threads[t].cur_flush_leg = spec.stage.is_none() || spec.flush;
+        self.threads[t].cur_sync_after = spec.sync_after || spec.stage.is_none();
+        for m in &spec.members {
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, self.cfg.cpu.submit_bio);
+            cpu = self.dispatch_plain_unit(cpu, t, m.range, 1, false);
+        }
+        if let Some(stage) = spec.stage {
+            self.mark_stage(t, stage, cpu);
+        }
+    }
+
+    /// Horae: serialized control path, then asynchronous data path.
+    fn submit_horae(&mut self, now: SimTime, t: usize) {
+        if self.threads[t].syncing {
+            self.threads[t].parked = true;
+            return;
+        }
+        // Respect the serialized control-path gap even when woken early
+        // by a data completion.
+        if now < self.threads[t].ctrl_gate_until {
+            let at = self.threads[t].ctrl_gate_until;
+            self.events.push(at, Event::Resume(t));
+            return;
+        }
+        let window = self.cfg.max_inflight_per_stream;
+        let mut cpu = now;
+        while !self.threads[t].ctrl_outstanding
+            && self.threads[t].inflight < window
+            && self.thread_has_work(t)
+        {
+            let spec = self.next_group_spec(t);
+            cpu = self.note_group_start(cpu, t, &spec);
+            self.threads[t].inflight += 1;
+            cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, cpu, self.cfg.cpu.horae_ctrl_post);
+            // Control metadata goes to the group's primary target.
+            let primary = self.volume.map_block(spec.members[0].range.lba).0 .0 as usize;
+            let qp = self.threads[t].stream.0 as usize % self.cfg.qps_per_target;
+            let init_qp = self.target_qp(primary, qp);
+            let delivery = self.fabric.send(&mut self.init_nic, init_qp, cpu, 64);
+            self.ctrl_sent += 1;
+            self.threads[t].ctrl_pending.push_back((spec, cpu));
+            self.threads[t].ctrl_outstanding = true;
+            self.events.push(
+                delivery,
+                Event::CtrlArrive {
+                    target: primary,
+                    thread: t,
+                },
+            );
+        }
+        if self.thread_has_work(t) || self.threads[t].inflight > 0 {
+            self.threads[t].parked = true;
+        } else {
+            self.threads[t].done_submitting = true;
+        }
+    }
+
+    fn on_ctrl_arrive(&mut self, now: SimTime, target: usize, thread: usize) {
+        // Target CPU: RECV + ordering-layer bookkeeping + PMR MMIO.
+        // The ordering layer appends metadata in global order, so the
+        // handler serializes on one dedicated core.
+        let core = 0;
+        let done = self.targets[target]
+            .cores
+            .run_on(core, now, self.cfg.cpu.horae_ctrl_handle);
+        // Acknowledge over the target's NIC.
+        let qp = self.threads[thread].stream.0 as usize % self.cfg.qps_per_target;
+        let delivery = self
+            .fabric
+            .send(&mut self.targets[target].nic, qp, done, 16);
+        self.events.push(delivery, Event::CtrlAck { thread });
+    }
+
+    fn on_ctrl_ack(&mut self, now: SimTime, thread: usize) {
+        let t = thread;
+        let cpu = self
+            .init_cores
+            .run_on(self.threads[t].core, now, self.cfg.cpu.irq);
+        self.threads[t].ctrl_outstanding = false;
+        // Dispatch the acknowledged group's data path asynchronously.
+        let (spec, _posted) = self.threads[t]
+            .ctrl_pending
+            .pop_front()
+            .expect("ctrl ack without pending group");
+        let mut c = cpu;
+        for m in &spec.members {
+            c = self
+                .init_cores
+                .run_on(self.threads[t].core, c, self.cfg.cpu.submit_bio);
+            c = self.dispatch_plain_unit(c, t, m.range, 1, spec.flush);
+        }
+        if let Some(stage) = spec.stage {
+            self.mark_stage(t, stage, c);
+        }
+        if spec.sync_after {
+            self.threads[t].syncing = true;
+            self.threads[t].parked = true;
+            if self.threads[t].inflight == 0 {
+                self.threads[t].syncing = false;
+                self.finish_op(t, c);
+                self.events.push(c, Event::Resume(t));
+            }
+            return;
+        }
+        // The serialized control path may proceed with the next group
+        // only after the ordering-layer gap.
+        let next = c + rio_sim::SimDuration::from_nanos(self.cfg.cpu.horae_ctrl_gap);
+        self.threads[t].ctrl_gate_until = next;
+        self.events.push(next, Event::Resume(t));
+    }
+
+    // ---- network / target side -------------------------------------------
+
+    /// Initiator-side QP index for (target, qp-within-connection).
+    fn target_qp(&self, target: usize, qp: usize) -> usize {
+        target * self.cfg.qps_per_target + qp
+    }
+
+    /// Picks the QP for a command of `stream`: pinned (Principle 2) or
+    /// scattered round-robin (the ablation).
+    fn pick_qp(&mut self, stream: usize) -> usize {
+        if self.cfg.pin_stream_to_qp {
+            stream % self.cfg.qps_per_target
+        } else {
+            self.scatter_qp += 1;
+            (self.scatter_qp as usize) % self.cfg.qps_per_target
+        }
+    }
+
+    /// Splits a logical range into per-device extents capped at the
+    /// device transfer limit and the PMR record length field.
+    fn chunked_extents(&self, range: BlockRange) -> Vec<rio_block::Extent> {
+        let mut out = Vec::new();
+        for e in self.volume.map(range) {
+            let prof = self.targets[e.server.0 as usize].ssds[e.ssd].profile();
+            let cap = prof.max_transfer_blocks.min(255).max(1);
+            let mut remaining = e.range.blocks;
+            let mut lba = e.range.lba;
+            let mut off = e.logical_offset;
+            while remaining > 0 {
+                let take = remaining.min(cap);
+                out.push(rio_block::Extent {
+                    server: e.server,
+                    ssd: e.ssd,
+                    range: BlockRange::new(lba, take),
+                    logical_offset: off,
+                });
+                lba += take as u64;
+                off += take as u64;
+                remaining -= take;
+            }
+        }
+        out
+    }
+
+    /// Sends one command over the fabric and schedules its arrival.
+    fn send_cmd(&mut self, now: SimTime, cmd: Cmd) {
+        let id = self.next_cmd;
+        self.next_cmd += 1;
+        self.commands_sent += 1;
+        let qp = self.target_qp(cmd.target, cmd.qp);
+        // Command capsule: 64 B SQE + transport headers.
+        let delivery = self.fabric.send(&mut self.init_nic, qp, now, 96);
+        self.cmds.insert(id, cmd);
+        self.events.push(delivery, Event::CmdArrive(id));
+    }
+
+    fn on_cmd_arrive(&mut self, now: SimTime, id: u64) {
+        let (target_idx, qp, kind, bytes, is_rio, thread) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            (
+                cmd.target,
+                cmd.qp,
+                cmd.kind,
+                cmd.phys.blocks as u64 * 4096,
+                cmd.attr.is_some(),
+                cmd.thread,
+            )
+        };
+        let core = qp;
+        let recv_done = self.targets[target_idx]
+            .cores
+            .run_on(core, now, self.cfg.cpu.target_recv);
+
+        if kind == CmdKind::Flush {
+            // Explicit FLUSH command (Linux mode): straight to the SSD.
+            let ssd_idx = self.cmds[&id].ssd;
+            let submit =
+                self.targets[target_idx]
+                    .cores
+                    .run_on(core, recv_done, self.cfg.cpu.ssd_submit);
+            let (_op, done) = self.targets[target_idx].ssds[ssd_idx].submit_flush(submit);
+            self.events.push(done, Event::SsdFlushDone(id));
+            return;
+        }
+
+        // Pull the data blocks with a one-sided RDMA READ (overlaps any
+        // gate wait).
+        let data_ready = self.fabric.rdma_read(
+            &mut self.targets[target_idx].nic,
+            &mut self.init_nic,
+            recv_done,
+            bytes,
+        );
+        self.cmds.get_mut(&id).expect("cmd exists").data_ready = data_ready;
+
+        if is_rio {
+            // Apply the release piggyback for this stream.
+            let stream = self.cmds[&id].attr.expect("rio cmd").stream;
+            self.apply_release(target_idx, stream, self.released_through[stream.0 as usize]);
+            // The in-order submission gate may buffer the command.
+            let attr = self.cmds[&id].attr.expect("rio cmd");
+            let released = self.targets[target_idx].gate.arrive(attr, id);
+            let mut cpu = recv_done;
+            for (r_attr, r_id) in released {
+                cpu = self.rio_release(cpu, target_idx, r_attr, r_id);
+            }
+        } else {
+            // Baselines submit once the driver CPU work and the data
+            // pull both finish (a scheduled event keeps the device
+            // clock monotone).
+            let submit =
+                self.targets[target_idx]
+                    .cores
+                    .run_on(core, recv_done, self.cfg.cpu.ssd_submit);
+            let start = submit.max(data_ready);
+            self.events.push(start, Event::SsdSubmit(id));
+        }
+        let _ = thread;
+    }
+
+    /// Submits a command's write to its SSD at the event's instant.
+    fn on_ssd_submit(&mut self, now: SimTime, id: u64) {
+        let (target_idx, ssd_idx, lba, blocks, tag) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            (cmd.target, cmd.ssd, cmd.phys.lba, cmd.phys.blocks, cmd.tag)
+        };
+        let images = vec![BlockImage::Tag(tag); blocks as usize];
+        let (_op, done) =
+            self.targets[target_idx].ssds[ssd_idx].submit_write(now, lba, images, false);
+        self.events.push(done, Event::SsdWriteDone(id));
+    }
+
+    /// Submits a command's embedded FLUSH at the event's instant.
+    fn on_ssd_flush_submit(&mut self, now: SimTime, id: u64) {
+        let (target_idx, ssd_idx) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            (cmd.target, cmd.ssd)
+        };
+        let (_op, done) = self.targets[target_idx].ssds[ssd_idx].submit_flush(now);
+        self.events.push(done, Event::SsdFlushDone(id));
+    }
+
+    /// Processes one gate release: PMR append, then SSD submission.
+    fn rio_release(
+        &mut self,
+        cpu: SimTime,
+        target_idx: usize,
+        attr: OrderingAttr,
+        id: u64,
+    ) -> SimTime {
+        let core = self.cmds[&id].qp;
+        // Persist the ordering attribute before the data (step ⑤).
+        let rec = attr.to_pmr_record(0);
+        let target = &mut self.targets[target_idx];
+        let log = target.log.as_mut().expect("rio target has a log");
+        let (slot, write) = log
+            .append(&rec)
+            .expect("PMR log full: raise pmr size or lower inflight bound");
+        target.ssds[0]
+            .pmr_mut()
+            .mmio_write(write.offset, &write.bytes);
+        target
+            .slots
+            .entry(attr.stream.0)
+            .or_default()
+            .push_back((attr.seq_end.0, slot));
+        self.cmds.get_mut(&id).expect("cmd").slot = Some(slot);
+        let cpu = self.targets[target_idx]
+            .cores
+            .run_on(core, cpu, self.cfg.cpu.pmr_append);
+        // Submit to the SSD once the driver work and the data pull both
+        // finish (via an event, keeping the device clock monotone).
+        let submit = self.targets[target_idx]
+            .cores
+            .run_on(core, cpu, self.cfg.cpu.ssd_submit);
+        let start = submit.max(self.cmds[&id].data_ready);
+        self.events.push(start, Event::SsdSubmit(id));
+        cpu
+    }
+
+    /// Applies a delivered-through release from the initiator: frees
+    /// PMR slots and advances the superblock head mark.
+    fn apply_release(&mut self, target_idx: usize, stream: StreamId, through: u32) {
+        let target = &mut self.targets[target_idx];
+        let applied = target.applied_release.entry(stream.0).or_insert(0);
+        if through <= *applied {
+            return;
+        }
+        *applied = through;
+        if let Some(q) = target.slots.get_mut(&stream.0) {
+            let log = target.log.as_mut().expect("rio target");
+            while let Some(&(seq_end, slot)) = q.front() {
+                if seq_end <= through {
+                    q.pop_front();
+                    log.free(slot);
+                } else {
+                    break;
+                }
+            }
+            let w = log.set_head_seq(stream, Seq(through));
+            target.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
+        }
+    }
+
+    fn on_ssd_write_done(&mut self, now: SimTime, id: u64) {
+        let (target_idx, core, flush_embedded, is_rio, plp) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            let plp = self.targets[cmd.target].ssds[cmd.ssd].profile().plp;
+            (
+                cmd.target,
+                cmd.qp,
+                cmd.flush_embedded,
+                cmd.attr.is_some(),
+                plp,
+            )
+        };
+        let mut cpu = self.targets[target_idx]
+            .cores
+            .run_on(core, now, self.cfg.cpu.irq);
+        if flush_embedded {
+            // The final request of a durability group embeds a FLUSH
+            // (§4.6): run it before completing.
+            self.events.push(cpu, Event::SsdFlushSubmit(id));
+            return;
+        }
+        if is_rio && plp {
+            // PLP drives: data is durable at completion; toggle the
+            // persist bit now (step ⑦).
+            if let Some(slot) = self.cmds[&id].slot {
+                let target = &mut self.targets[target_idx];
+                let w = target.log.as_ref().expect("rio target").mark_persist(slot);
+                target.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
+            }
+            cpu = self.targets[target_idx]
+                .cores
+                .run_on(core, cpu, self.cfg.cpu.pmr_toggle);
+        }
+        self.send_completion(cpu, id);
+    }
+
+    fn on_ssd_flush_done(&mut self, now: SimTime, id: u64) {
+        let (target_idx, core, is_rio) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            (cmd.target, cmd.qp, cmd.attr.is_some())
+        };
+        let mut cpu = self.targets[target_idx]
+            .cores
+            .run_on(core, now, self.cfg.cpu.irq);
+        if is_rio {
+            // Non-PLP durability: only the FLUSH carrier's persist bit
+            // is toggled; it vouches for everything before it (§4.3.2).
+            if let Some(slot) = self.cmds[&id].slot {
+                let target = &mut self.targets[target_idx];
+                let w = target.log.as_ref().expect("rio target").mark_persist(slot);
+                target.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
+            }
+            cpu = self.targets[target_idx]
+                .cores
+                .run_on(core, cpu, self.cfg.cpu.pmr_toggle);
+        }
+        self.send_completion(cpu, id);
+    }
+
+    /// Sends the completion capsule back to the initiator.
+    fn send_completion(&mut self, now: SimTime, id: u64) {
+        let (target_idx, qp) = {
+            let cmd = self.cmds.get(&id).expect("cmd exists");
+            (cmd.target, cmd.qp)
+        };
+        let delivery = self
+            .fabric
+            .send(&mut self.targets[target_idx].nic, qp, now, 32);
+        self.events.push(delivery, Event::CmdComplete(id));
+    }
+
+    // ---- completion side ---------------------------------------------------
+
+    fn on_cmd_complete(&mut self, now: SimTime, id: u64) {
+        let cmd = self.cmds.remove(&id).expect("cmd exists");
+        let t = cmd.thread;
+        let cpu = self
+            .init_cores
+            .run_on(self.threads[t].core, now, self.cfg.cpu.irq);
+
+        if cmd.kind == CmdKind::Flush {
+            // Linux mode flush leg.
+            self.on_sync_flush_complete(cpu, t);
+            return;
+        }
+
+        let unit_id = cmd.unit;
+        let finished = {
+            let unit = self.units.get_mut(&unit_id).expect("unit exists");
+            unit.fragments_done += 1;
+            unit.fragments_done == unit.fragments_total
+        };
+        if !finished {
+            return;
+        }
+        let unit = self.units.remove(&unit_id).expect("unit exists");
+
+        if cmd.attr.is_some() {
+            // Rio: unroll the unit's parts into the in-order completer.
+            let mut delivered = Vec::new();
+            for part in &unit.parts {
+                delivered.extend(self.completer.on_done(part));
+            }
+            let stream = unit.parts[0].stream;
+            for seq in delivered {
+                let info = self
+                    .group_info
+                    .remove(&(stream.0, seq.0))
+                    .expect("delivered group was submitted");
+                self.groups_done += 1;
+                self.blocks_done += info.blocks as u64;
+                self.group_latency.record(cpu.since(info.submitted));
+                self.last_completion = self.last_completion.max(cpu);
+                self.released_through[stream.0 as usize] =
+                    self.released_through[stream.0 as usize].max(seq.0);
+                let owner = info.thread;
+                self.threads[owner].inflight -= 1;
+                self.maybe_wake(cpu, owner);
+            }
+        } else {
+            match self.cfg.mode {
+                OrderingMode::LinuxNvmf => {
+                    // Write leg finished; issue the FLUSH leg.
+                    self.groups_done += unit.plain_groups;
+                    self.blocks_done += unit.blocks as u64;
+                    self.group_latency.record(cpu.since(unit.submitted));
+                    self.last_completion = self.last_completion.max(cpu);
+                    self.on_sync_write_complete(cpu, t, &cmd);
+                }
+                _ => {
+                    // Orderless / Horae data path.
+                    self.groups_done += unit.plain_groups;
+                    self.blocks_done += unit.blocks as u64;
+                    self.group_latency.record(cpu.since(unit.submitted));
+                    self.last_completion = self.last_completion.max(cpu);
+                    self.threads[t].inflight -= unit.plain_groups as usize;
+                    self.maybe_wake(cpu, t);
+                }
+            }
+        }
+    }
+
+    /// Linux mode: after the ordered write completes, send a FLUSH leg
+    /// when the group requires one, otherwise finish the group.
+    fn on_sync_write_complete(&mut self, now: SimTime, t: usize, cmd: &Cmd) {
+        debug_assert_eq!(self.threads[t].sync_stage, SyncStage::AwaitWrite);
+        let cpu = self
+            .init_cores
+            .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+        if !self.threads[t].cur_flush_leg {
+            self.finish_sync_group(cpu, t);
+            return;
+        }
+        self.threads[t].sync_stage = SyncStage::AwaitFlush { remaining: 1 };
+        let c = self
+            .init_cores
+            .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+        let flush_cmd = Cmd {
+            kind: CmdKind::Flush,
+            thread: t,
+            target: cmd.target,
+            ssd: cmd.ssd,
+            qp: cmd.qp,
+            phys: BlockRange::new(0, 1),
+            tag: 0,
+            attr: None,
+            flush_embedded: false,
+            unit: u64::MAX,
+            data_ready: SimTime::FAR_FUTURE,
+            slot: None,
+        };
+        self.send_cmd(c, flush_cmd);
+    }
+
+    fn on_sync_flush_complete(&mut self, now: SimTime, t: usize) {
+        let SyncStage::AwaitFlush { remaining } = self.threads[t].sync_stage else {
+            panic!("flush completion outside AwaitFlush");
+        };
+        if remaining > 1 {
+            self.threads[t].sync_stage = SyncStage::AwaitFlush {
+                remaining: remaining - 1,
+            };
+            return;
+        }
+        self.finish_sync_group(now, t);
+    }
+
+    /// Finishes the current synchronous group and moves on.
+    fn finish_sync_group(&mut self, now: SimTime, t: usize) {
+        self.threads[t].sync_stage = SyncStage::Idle;
+        self.threads[t].inflight -= 1;
+        self.last_completion = self.last_completion.max(now);
+        if self.threads[t].cur_sync_after {
+            self.finish_op(t, now);
+        }
+        let cpu = self
+            .init_cores
+            .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+        self.events.push(cpu, Event::Resume(t));
+    }
+
+    /// Wakes a parked thread whose window has room again, or whose
+    /// sync point (fsync wait) is now satisfied.
+    fn maybe_wake(&mut self, now: SimTime, t: usize) {
+        if self.threads[t].syncing {
+            if self.threads[t].inflight == 0 {
+                self.threads[t].syncing = false;
+                self.finish_op(t, now);
+                self.threads[t].parked = false;
+                let cpu =
+                    self.init_cores
+                        .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+                self.events.push(cpu, Event::Resume(t));
+            }
+            return;
+        }
+        if self.threads[t].parked
+            && (self.thread_has_work(t) || !self.threads[t].ctrl_pending.is_empty())
+            && self.threads[t].inflight < self.cfg.max_inflight_per_stream
+        {
+            self.threads[t].parked = false;
+            let cpu = self
+                .init_cores
+                .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+            self.events.push(cpu, Event::Resume(t));
+        }
+    }
+
+    // ---- crash-experiment access ------------------------------------------
+
+    /// Immutable access to a target's SSDs (tests, crash experiments).
+    pub(crate) fn target_ssds(&self, target: usize) -> &[Ssd] {
+        &self.targets[target].ssds
+    }
+
+    /// Mutable access for crash injection.
+    pub(crate) fn target_ssds_mut(&mut self, target: usize) -> &mut Vec<Ssd> {
+        &mut self.targets[target].ssds
+    }
+
+    /// Number of targets.
+    pub(crate) fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Discards all queued events (crash stops the world).
+    pub(crate) fn clear_events(&mut self) {
+        self.events.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TargetConfig;
+    use rio_net::FabricProfile;
+    use rio_ssd::SsdProfile;
+
+    fn small_cfg(mode: OrderingMode, threads: usize) -> ClusterConfig {
+        ClusterConfig {
+            seed: 7,
+            mode,
+            initiator_cores: 8,
+            targets: vec![TargetConfig {
+                ssds: vec![SsdProfile::optane905p()],
+                cores: 8,
+            }],
+            fabric: FabricProfile::connectx6(),
+            cpu: Default::default(),
+            streams: threads,
+            qps_per_target: 8,
+            stripe_blocks: 1,
+            max_inflight_per_stream: 16,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+        }
+    }
+
+    fn run(mode: OrderingMode, threads: usize, groups: u64) -> RunMetrics {
+        let cfg = small_cfg(mode, threads);
+        let wl = Workload::random_4k(threads, groups);
+        Cluster::new(cfg, wl).run()
+    }
+
+    #[test]
+    fn orderless_completes_all_groups() {
+        let m = run(OrderingMode::Orderless, 2, 200);
+        assert_eq!(m.groups_done, 400);
+        assert_eq!(m.blocks_done, 400);
+        assert!(m.span.as_nanos() > 0);
+        assert!(m.initiator_util > 0.0);
+    }
+
+    #[test]
+    fn rio_completes_all_groups() {
+        let m = run(OrderingMode::Rio { merge: true }, 2, 200);
+        assert_eq!(m.groups_done, 400);
+        assert_eq!(m.blocks_done, 400);
+    }
+
+    #[test]
+    fn linux_completes_all_groups() {
+        let m = run(OrderingMode::LinuxNvmf, 2, 50);
+        assert_eq!(m.groups_done, 100);
+    }
+
+    #[test]
+    fn horae_completes_all_groups() {
+        let m = run(OrderingMode::Horae, 2, 100);
+        assert_eq!(m.groups_done, 200);
+    }
+
+    #[test]
+    fn ordering_cost_ranking_holds() {
+        // The paper's headline shape: orderless ≥ Rio > Horae > Linux.
+        let orderless = run(OrderingMode::Orderless, 4, 300).block_iops();
+        let rio = run(OrderingMode::Rio { merge: true }, 4, 300).block_iops();
+        let horae = run(OrderingMode::Horae, 4, 300).block_iops();
+        let linux = run(OrderingMode::LinuxNvmf, 4, 100).block_iops();
+        assert!(rio > horae, "rio {rio:.0} <= horae {horae:.0}");
+        assert!(horae > linux, "horae {horae:.0} <= linux {linux:.0}");
+        assert!(
+            rio > orderless * 0.5,
+            "rio {rio:.0} too far below orderless {orderless:.0}"
+        );
+    }
+
+    #[test]
+    fn rio_merging_reduces_commands() {
+        let cfg = small_cfg(OrderingMode::Rio { merge: true }, 1);
+        let wl = Workload::seq_batched(1, 256, 8, 1);
+        let merged = Cluster::new(cfg, wl.clone()).run();
+        let cfg = small_cfg(OrderingMode::Rio { merge: false }, 1);
+        let unmerged = Cluster::new(cfg, wl).run();
+        assert_eq!(merged.groups_done, unmerged.groups_done);
+        assert!(
+            merged.commands_sent * 2 <= unmerged.commands_sent,
+            "merged {} vs unmerged {}",
+            merged.commands_sent,
+            unmerged.commands_sent
+        );
+    }
+
+    #[test]
+    fn journal_triplet_halves_commands() {
+        // §4.1: two consecutive ordered requests merge into one command.
+        let cfg = small_cfg(OrderingMode::Rio { merge: true }, 1);
+        let wl = Workload::journal_triplet(1, 100);
+        let m = Cluster::new(cfg, wl).run();
+        assert_eq!(m.groups_done, 200);
+        assert!(
+            m.commands_sent <= 110,
+            "expected ~100 merged commands, sent {}",
+            m.commands_sent
+        );
+    }
+
+    #[test]
+    fn fsync_journal_completes_in_all_modes() {
+        for mode in [
+            OrderingMode::Rio { merge: true },
+            OrderingMode::Horae,
+            OrderingMode::LinuxNvmf,
+        ] {
+            let cfg = small_cfg(mode.clone(), 2);
+            let wl = Workload::fsync_append(2, 50);
+            let m = Cluster::new(cfg, wl).run();
+            assert_eq!(m.ops_done, 100, "{} lost fsyncs", mode.label());
+            assert_eq!(m.groups_done, 300, "{}: 3 groups per op", mode.label());
+            assert!(m.op_latency.count() == 100);
+            assert!(m.op_latency.mean().as_micros_f64() > 1.0);
+        }
+    }
+
+    #[test]
+    fn fsync_rio_beats_ext4_and_horae_latency() {
+        // The Fig. 13/14 shape: RioFS < HoraeFS < Ext4 fsync latency.
+        let lat = |mode: OrderingMode| {
+            let cfg = small_cfg(mode, 1);
+            let wl = Workload::fsync_append(1, 200);
+            let m = Cluster::new(cfg, wl).run();
+            m.op_latency.mean().as_micros_f64()
+        };
+        let rio = lat(OrderingMode::Rio { merge: true });
+        let horae = lat(OrderingMode::Horae);
+        let ext4 = lat(OrderingMode::LinuxNvmf);
+        assert!(rio < horae, "rio {rio:.1}us !< horae {horae:.1}us");
+        assert!(horae < ext4, "horae {horae:.1}us !< ext4 {ext4:.1}us");
+    }
+
+    #[test]
+    fn fsync_stage_breakdown_shape() {
+        // Fig. 14: Rio dispatches JM/JC immediately (CPU-only), Horae
+        // pays a control-path round trip per stage.
+        let stages = |mode: OrderingMode| {
+            let cfg = small_cfg(mode, 1);
+            let wl = Workload::fsync_append(1, 100);
+            let m = Cluster::new(cfg, wl).run();
+            [
+                m.stage_dispatch[0].mean(),
+                m.stage_dispatch[1].mean(),
+                m.stage_dispatch[2].mean(),
+                m.stage_dispatch[3].mean(),
+            ]
+        };
+        let rio = stages(OrderingMode::Rio { merge: true });
+        let horae = stages(OrderingMode::Horae);
+        // JM dispatch: Horae's control path makes it an order of
+        // magnitude slower than Rio's CPU-only dispatch.
+        assert!(
+            horae[1] > rio[1] * 4.0,
+            "horae JM {:.0}ns vs rio JM {:.0}ns",
+            horae[1],
+            rio[1]
+        );
+        assert!(rio[1] < 5_000.0, "rio JM dispatch should be ~CPU-only");
+        // Both spend comparable time waiting on I/O.
+        assert!(rio[3] > 0.0 && horae[3] > 0.0);
+    }
+
+    #[test]
+    fn qp_pinning_keeps_the_gate_idle() {
+        // Principle 2: with streams pinned to queue pairs, RC in-order
+        // delivery means the gate never buffers; scattering commands
+        // across QPs forces it to.
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 4);
+        cfg.pin_stream_to_qp = true;
+        let pinned = Cluster::new(cfg, Workload::random_4k(4, 400)).run();
+        assert_eq!(pinned.gate_buffered, 0, "pinned streams must not buffer");
+
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 4);
+        cfg.pin_stream_to_qp = false;
+        let scattered = Cluster::new(cfg, Workload::random_4k(4, 400)).run();
+        assert!(
+            scattered.gate_buffered > 0,
+            "scattered QPs should reorder arrivals"
+        );
+        assert_eq!(
+            scattered.groups_done, pinned.groups_done,
+            "ordering still intact"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let a = run(OrderingMode::Rio { merge: true }, 3, 100);
+        let b = run(OrderingMode::Rio { merge: true }, 3, 100);
+        assert_eq!(a.blocks_done, b.blocks_done);
+        assert_eq!(a.span.as_nanos(), b.span.as_nanos());
+        assert_eq!(a.commands_sent, b.commands_sent);
+    }
+
+    #[test]
+    fn multi_target_striping_reaches_all_ssds() {
+        let mut cfg = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 2);
+        cfg.initiator_cores = 8;
+        for t in &mut cfg.targets {
+            t.cores = 8;
+        }
+        cfg.qps_per_target = 8;
+        let wl = Workload {
+            threads: 2,
+            groups_per_thread: 100,
+            pattern: crate::workload::Pattern::SeqWrite { blocks: 8 },
+            batch: 1,
+        };
+        let mut cl = Cluster::new(cfg, wl);
+        cl.start();
+        cl.run_until(SimTime::from_nanos(u64::MAX / 2));
+        let m = cl.metrics();
+        assert_eq!(m.groups_done, 200);
+        // Every SSD saw writes.
+        for t in 0..cl.n_targets() {
+            for ssd in cl.target_ssds(t) {
+                assert!(ssd.stats().writes > 0, "an SSD saw no writes");
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Cluster configuration: topology, ordering mode, CPU cost model.
+
+use rio_net::FabricProfile;
+use rio_ssd::SsdProfile;
+
+/// Which ordering engine drives the stack (§6.2's compared systems).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderingMode {
+    /// No ordering guarantees (the paper's "orderless" upper bound).
+    Orderless,
+    /// Stock Linux NVMe-oF ordering: wait for completion + FLUSH
+    /// between consecutive ordered requests.
+    LinuxNvmf,
+    /// Horae over NVMe-oF: synchronous control path before an
+    /// asynchronous data path.
+    Horae,
+    /// Rio's asynchronous I/O pipeline.
+    Rio {
+        /// Whether the ORDER-queue merges requests (Fig. 12's
+        /// "RIO w/o merge" ablation disables it).
+        merge: bool,
+    },
+}
+
+impl OrderingMode {
+    /// Display name used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OrderingMode::Orderless => "orderless",
+            OrderingMode::LinuxNvmf => "Linux",
+            OrderingMode::Horae => "HORAE",
+            OrderingMode::Rio { merge: true } => "RIO",
+            OrderingMode::Rio { merge: false } => "RIO w/o merge",
+        }
+    }
+}
+
+/// One target server.
+#[derive(Debug, Clone)]
+pub struct TargetConfig {
+    /// SSDs installed on this target.
+    pub ssds: Vec<SsdProfile>,
+    /// Cores available to the target driver.
+    pub cores: usize,
+}
+
+/// CPU cost model, nanoseconds per software step.
+///
+/// Values are in the range kernel-bypass studies report for NVMe-oF
+/// software overheads; the ratios between paths matter more than the
+/// absolute numbers, and EXPERIMENTS.md documents the calibration.
+#[derive(Debug, Clone)]
+pub struct CpuCosts {
+    /// Block-layer submission work per bio (bio alloc, checks, queue).
+    pub submit_bio: u64,
+    /// ORDER-queue bookkeeping per bio (attribute stamping, push).
+    pub order_queue: u64,
+    /// Extra work to merge one additional bio into a request.
+    pub merge_per_bio: u64,
+    /// Building one NVMe-oF command + posting the RDMA SEND.
+    pub cmd_post: u64,
+    /// Target-side two-sided RECV handling per command.
+    pub target_recv: u64,
+    /// Submitting one command to the local SSD (doorbell path).
+    pub ssd_submit: u64,
+    /// Persistent MMIO append of a 32 B ordering attribute (§6.1).
+    pub pmr_append: u64,
+    /// Single-byte persist toggle (posted MMIO).
+    pub pmr_toggle: u64,
+    /// Interrupt + completion handling per command (either side).
+    pub irq: u64,
+    /// Blocking wait / wakeup (context switch pair) on the initiator.
+    pub ctx_switch: u64,
+    /// Horae: initiator-side control-path post.
+    pub horae_ctrl_post: u64,
+    /// Horae: target-side control handling (RECV + ordering-layer
+    /// bookkeeping + PMR MMIO).
+    pub horae_ctrl_handle: u64,
+    /// Horae: serialization gap of the control path beyond raw wire and
+    /// CPU costs — kernel wakeups, doorbells and ordering-layer locking
+    /// on the synchronous path. Calibrated so Horae needs many cores to
+    /// drive an SSD, as in §3.1 (see EXPERIMENTS.md).
+    pub horae_ctrl_gap: u64,
+}
+
+impl Default for CpuCosts {
+    fn default() -> Self {
+        CpuCosts {
+            submit_bio: 900,
+            order_queue: 150,
+            merge_per_bio: 150,
+            cmd_post: 650,
+            target_recv: 700,
+            ssd_submit: 400,
+            pmr_append: 600,
+            pmr_toggle: 250,
+            irq: 850,
+            ctx_switch: 2_200,
+            horae_ctrl_post: 650,
+            horae_ctrl_handle: 2_000,
+            horae_ctrl_gap: 14_000,
+        }
+    }
+}
+
+/// Full cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Seed for all simulator randomness.
+    pub seed: u64,
+    /// Ordering engine.
+    pub mode: OrderingMode,
+    /// Cores on the initiator server.
+    pub initiator_cores: usize,
+    /// Target servers.
+    pub targets: Vec<TargetConfig>,
+    /// Fabric profile.
+    pub fabric: FabricProfile,
+    /// CPU cost model.
+    pub cpu: CpuCosts,
+    /// Number of ordered streams (`rio_setup`; default = threads).
+    pub streams: usize,
+    /// NIC queue pairs per (initiator, target) connection.
+    pub qps_per_target: usize,
+    /// Stripe unit in blocks for multi-SSD volumes (4 KB round-robin
+    /// in the paper, §6.2.1).
+    pub stripe_blocks: u32,
+    /// Maximum in-flight ordered groups per stream before the submitter
+    /// backs off (asynchronous modes).
+    pub max_inflight_per_stream: usize,
+    /// Whether the orderless plug merges adjacent writes (the Fig. 3
+    /// "w/ merging" vs "w/o merging" toggle).
+    pub plug_merge: bool,
+    /// Scheduler Principle 2 (§4.5): pin each stream to one NIC send
+    /// queue so RC in-order delivery makes the target gate free.
+    /// Disabling it scatters commands across queue pairs — an ablation
+    /// that shows the gate absorbing network reordering.
+    pub pin_stream_to_qp: bool,
+}
+
+impl ClusterConfig {
+    /// A single-target, single-SSD cluster — the Fig. 2/10(a,b) shape.
+    pub fn single_ssd(mode: OrderingMode, ssd: SsdProfile, streams: usize) -> Self {
+        ClusterConfig {
+            seed: 42,
+            mode,
+            initiator_cores: 36,
+            targets: vec![TargetConfig {
+                ssds: vec![ssd],
+                cores: 36,
+            }],
+            fabric: FabricProfile::connectx6(),
+            cpu: CpuCosts::default(),
+            streams,
+            qps_per_target: 36,
+            stripe_blocks: 1,
+            max_inflight_per_stream: 48,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+        }
+    }
+
+    /// The 4-SSD / 2-target configuration of Fig. 10(d)–12.
+    pub fn four_ssd_two_targets(mode: OrderingMode, streams: usize) -> Self {
+        ClusterConfig {
+            seed: 42,
+            mode,
+            initiator_cores: 36,
+            targets: vec![
+                TargetConfig {
+                    ssds: vec![SsdProfile::pm981(), SsdProfile::optane905p()],
+                    cores: 36,
+                },
+                TargetConfig {
+                    ssds: vec![SsdProfile::pm981(), SsdProfile::p4800x()],
+                    cores: 36,
+                },
+            ],
+            fabric: FabricProfile::connectx6(),
+            cpu: CpuCosts::default(),
+            streams,
+            qps_per_target: 36,
+            stripe_blocks: 1,
+            max_inflight_per_stream: 48,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+        }
+    }
+
+    /// Total SSDs across targets.
+    pub fn total_ssds(&self) -> usize {
+        self.targets.iter().map(|t| t.ssds.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(OrderingMode::Orderless.label(), "orderless");
+        assert_eq!(OrderingMode::LinuxNvmf.label(), "Linux");
+        assert_eq!(OrderingMode::Horae.label(), "HORAE");
+        assert_eq!(OrderingMode::Rio { merge: true }.label(), "RIO");
+        assert_eq!(OrderingMode::Rio { merge: false }.label(), "RIO w/o merge");
+    }
+
+    #[test]
+    fn canned_configs_shape() {
+        let c = ClusterConfig::single_ssd(OrderingMode::Orderless, SsdProfile::pm981(), 4);
+        assert_eq!(c.total_ssds(), 1);
+        let c = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 12);
+        assert_eq!(c.total_ssds(), 4);
+        assert_eq!(c.targets.len(), 2);
+    }
+}

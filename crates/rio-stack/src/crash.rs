@@ -1,0 +1,263 @@
+//! Crash injection and the §6.5 recovery-time experiment.
+//!
+//! The experiment: 36 threads issue 4 KB ordered writes continuously;
+//! a fault crashes the target servers mid-flight; after reconnecting,
+//! the initiator (1) rebuilds the global order from the PMR logs and
+//! (2) discards the data blocks that disobey the storage order. Both
+//! phases are timed separately, matching the paper's "~55 ms to
+//! reconstruct the global order" and "~125 ms data recovery" breakdown.
+//!
+//! Recovery cost model:
+//!
+//! * PMR scanning is MMIO-bound: each 32 B slot read costs
+//!   [`PMR_SCAN_US_PER_SLOT`] µs of target CPU — this, not the 2 MB
+//!   network transfer, dominates phase 1 exactly as the paper observes
+//!   ("most of which is spent on reading data from PMR").
+//! * Scanned records travel to the initiator as one RDMA transfer.
+//! * The global merge is CPU work proportional to the live records.
+//! * Each discard is an SSD command; discards run concurrently per SSD
+//!   (the paper's "discarding is performed asynchronously for each SSD
+//!   and each server").
+
+use rio_order::attr::{Seq, StreamId};
+use rio_order::pmrlog::PmrLog;
+use rio_order::recovery::{RecoveryInput, RecoveryMode, RecoveryPlan, ServerScan};
+use rio_sim::{SimDuration, SimTime};
+
+use crate::cluster::Cluster;
+use crate::config::{ClusterConfig, OrderingMode};
+use crate::workload::Workload;
+
+/// Cost of one 32 B MMIO read while scanning the PMR (µs).
+pub const PMR_SCAN_US_PER_SLOT: f64 = 0.8;
+
+/// CPU cost of merging one scanned record into the global list (ns).
+pub const MERGE_NS_PER_RECORD: u64 = 350;
+
+/// SSD-side cost of one discard command (µs). TRIM-class commands on
+/// scattered 4 KB ranges are far slower than reads/writes on real
+/// devices (calibrated against the paper's ~125 ms data recovery).
+pub const DISCARD_US: f64 = 150.0;
+
+/// Outcome of one crash-recovery run.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Virtual time of the crash.
+    pub crashed_at: SimTime,
+    /// Phase 1: scanning PMRs + transferring attributes + global merge.
+    pub order_rebuild: SimDuration,
+    /// Phase 2: discarding out-of-order blocks.
+    pub data_recovery: SimDuration,
+    /// Records scanned across all targets.
+    pub records_scanned: usize,
+    /// Discard operations issued.
+    pub discards: usize,
+    /// Per-stream valid-prefix sequence numbers.
+    pub valid_through: Vec<(StreamId, Seq)>,
+    /// The computed plan (for invariant checking in tests).
+    pub plan: RecoveryPlan,
+}
+
+/// Runs the §6.5 experiment: drive `workload` under Rio, crash all
+/// targets at `crash_at`, then recover and time both phases.
+///
+/// # Panics
+///
+/// Panics if the configuration is not a Rio mode (only Rio persists
+/// ordering attributes to recover from).
+pub fn run_crash_recovery(
+    cfg: ClusterConfig,
+    workload: Workload,
+    crash_at: SimTime,
+) -> RecoveryReport {
+    assert!(
+        matches!(cfg.mode, OrderingMode::Rio { .. }),
+        "crash recovery experiment requires Rio mode"
+    );
+    let fabric_bw = cfg.fabric.bandwidth;
+    let one_way_us = cfg.fabric.one_way_latency_us;
+    let mut cluster = Cluster::new(cfg, workload);
+    cluster.start();
+    let reached = cluster.run_until(crash_at);
+    cluster.clear_events();
+
+    // Power failure on every target: volatile caches and in-flight
+    // commands are lost; media and PMR survive.
+    let n_targets = cluster.n_targets();
+    for t in 0..n_targets {
+        for ssd in cluster.target_ssds_mut(t) {
+            ssd.crash(reached);
+        }
+    }
+
+    // ---- Phase 1: rebuild the global order --------------------------------
+    // Each target scans its PMR in parallel (MMIO-bound), ships the
+    // records, and the initiator merges.
+    let mut scans = Vec::new();
+    let mut phase1_per_target = Vec::new();
+    let mut records_total = 0usize;
+    for t in 0..n_targets {
+        let plp = cluster.target_ssds(t)[0].profile().plp;
+        let pmr = cluster.target_ssds(t)[0].pmr();
+        let outcome = PmrLog::scan(pmr.contents()).expect("formatted PMR");
+        let slots = pmr.len() / 32;
+        let scan_time = SimDuration::from_micros_f64(slots as f64 * PMR_SCAN_US_PER_SLOT);
+        // Ship the raw region to the initiator in one transfer.
+        let wire =
+            SimDuration::from_micros_f64(pmr.len() as f64 / fabric_bw * 1e6 + 2.0 * one_way_us);
+        phase1_per_target.push(scan_time + wire);
+        records_total += outcome.records.len();
+        scans.push(ServerScan {
+            server: rio_order::attr::ServerId(t as u16),
+            plp,
+            head_seqs: outcome.head_seqs,
+            records: outcome.records,
+        });
+    }
+    // Targets scan in parallel; the initiator merge is serial CPU work.
+    let scan_parallel = phase1_per_target
+        .iter()
+        .copied()
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+    let merge_cpu = SimDuration::from_nanos(MERGE_NS_PER_RECORD * records_total as u64);
+    let order_rebuild = scan_parallel + merge_cpu;
+
+    let plan = RecoveryPlan::compute(&RecoveryInput {
+        scans,
+        mode: RecoveryMode::InitiatorRestart,
+    });
+
+    // ---- Phase 2: discard out-of-order blocks -----------------------------
+    // Discards are issued per (server, ssd) concurrently; within one
+    // SSD they serialize at DISCARD_US plus the wire round trip once.
+    let mut per_ssd_counts: std::collections::HashMap<(usize, usize), usize> =
+        std::collections::HashMap::new();
+    let mut discards = 0usize;
+    for sp in &plan.streams {
+        for d in &sp.discard {
+            discards += 1;
+            *per_ssd_counts
+                .entry((d.server.0 as usize, d.ssd as usize))
+                .or_insert(0) += 1;
+            // Apply the erase to the device model so post-recovery
+            // state checks see rolled-back media.
+            let ssd = &mut cluster.target_ssds_mut(d.server.0 as usize)[d.ssd as usize];
+            ssd.submit_discard(reached, d.range.lba, d.range.blocks);
+        }
+    }
+    let data_recovery = per_ssd_counts
+        .values()
+        .map(|&n| SimDuration::from_micros_f64(n as f64 * DISCARD_US + 2.0 * one_way_us))
+        .max()
+        .unwrap_or(SimDuration::ZERO);
+
+    let valid_through = plan
+        .streams
+        .iter()
+        .map(|s| (s.stream, s.valid_through))
+        .collect();
+
+    RecoveryReport {
+        crashed_at: reached,
+        order_rebuild,
+        data_recovery,
+        records_scanned: records_total,
+        discards,
+        valid_through,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TargetConfig;
+    use rio_net::FabricProfile;
+    use rio_ssd::SsdProfile;
+
+    fn crash_cfg(threads: usize) -> ClusterConfig {
+        ClusterConfig {
+            seed: 11,
+            mode: OrderingMode::Rio { merge: true },
+            initiator_cores: threads.max(4),
+            targets: vec![
+                TargetConfig {
+                    ssds: vec![SsdProfile::optane905p()],
+                    cores: 8,
+                },
+                TargetConfig {
+                    ssds: vec![SsdProfile::optane905p()],
+                    cores: 8,
+                },
+            ],
+            fabric: FabricProfile::connectx6(),
+            cpu: Default::default(),
+            streams: threads,
+            qps_per_target: 8,
+            stripe_blocks: 1,
+            max_inflight_per_stream: 16,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+        }
+    }
+
+    #[test]
+    fn recovery_produces_valid_prefixes() {
+        let cfg = crash_cfg(4);
+        let wl = Workload::random_4k(4, 100_000);
+        let report = run_crash_recovery(cfg, wl, SimTime::from_nanos(3_000_000));
+        // Some work was in flight.
+        assert!(report.records_scanned > 0, "no records survived the crash");
+        // Every stream has a plan with a valid prefix at or above zero.
+        assert_eq!(report.valid_through.len(), 4);
+        for sp in &report.plan.streams {
+            // The prefix never regresses below the delivered head.
+            assert!(sp.valid_through >= sp.resume_head);
+        }
+    }
+
+    #[test]
+    fn order_rebuild_dominated_by_pmr_scan() {
+        let cfg = crash_cfg(2);
+        let wl = Workload::random_4k(2, 100_000);
+        let report = run_crash_recovery(cfg, wl, SimTime::from_nanos(2_000_000));
+        // 2 MB / 32 B * 0.8 µs ≈ 52 ms — the paper's "around 55 ms".
+        let ms = report.order_rebuild.as_secs_f64() * 1e3;
+        assert!(
+            (40.0..80.0).contains(&ms),
+            "order rebuild {ms:.1} ms out of the paper's ballpark"
+        );
+    }
+
+    #[test]
+    fn discarded_blocks_are_erased() {
+        let cfg = crash_cfg(4);
+        let wl = Workload::random_4k(4, 100_000);
+        let report = run_crash_recovery(cfg, wl, SimTime::from_nanos(3_000_000));
+        // The report's plan discards were applied by the driver; spot
+        // check that the plan is internally consistent.
+        for sp in &report.plan.streams {
+            for d in &sp.discard {
+                assert!(d.range.blocks > 0);
+            }
+        }
+        assert!(report.data_recovery >= SimDuration::ZERO);
+    }
+
+    #[test]
+    fn deterministic_reports() {
+        let run = || {
+            let cfg = crash_cfg(3);
+            let wl = Workload::random_4k(3, 100_000);
+            let r = run_crash_recovery(cfg, wl, SimTime::from_nanos(2_500_000));
+            (
+                r.records_scanned,
+                r.discards,
+                r.order_rebuild.as_nanos(),
+                r.data_recovery.as_nanos(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,35 @@
+//! Whole-cluster simulation of Rio and its baselines.
+//!
+//! One [`cluster::Cluster`] models the paper's testbed: an initiator
+//! server plus one or two target servers, each with cores, a NIC and
+//! NVMe SSDs, connected by a 200 Gbps RDMA fabric. The same workload
+//! can be run under four ordering engines (§6.2):
+//!
+//! * [`config::OrderingMode::Orderless`] — no ordering guarantee; the
+//!   upper bound every figure normalises against.
+//! * [`config::OrderingMode::LinuxNvmf`] — stock ordered NVMe-oF:
+//!   synchronous execution, a completion wait plus a FLUSH between
+//!   ordered requests.
+//! * [`config::OrderingMode::Horae`] — the OSDI'20 system ported to
+//!   NVMe-oF: a synchronous control path (two-sided SENDs persisting
+//!   ordering metadata to PMR) ahead of an asynchronous data path.
+//! * [`config::OrderingMode::Rio`] — the paper's contribution: the
+//!   fully asynchronous I/O pipeline built from `rio-order`'s
+//!   sequencer, ORDER queues, gate, PMR log and in-order completion.
+//!
+//! The simulation charges CPU costs per software step to per-core FIFO
+//! resources, so throughput *and* CPU efficiency (throughput ÷
+//! utilisation, §6.1) come out of the same run. Crash injection and the
+//! recovery driver for §6.5 live in [`crash`].
+
+pub mod cluster;
+pub mod config;
+pub mod cpu;
+pub mod crash;
+pub mod metrics;
+pub mod workload;
+
+pub use cluster::Cluster;
+pub use config::{ClusterConfig, CpuCosts, OrderingMode, TargetConfig};
+pub use metrics::RunMetrics;
+pub use workload::Workload;

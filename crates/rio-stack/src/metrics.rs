@@ -1,0 +1,126 @@
+//! Run metrics: the numbers every figure reports.
+
+use rio_sim::{Histogram, MeanAccum, SimDuration, SimTime};
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone)]
+pub struct RunMetrics {
+    /// 4 KB blocks written and acknowledged.
+    pub blocks_done: u64,
+    /// Ordered groups (or orderless requests) completed.
+    pub groups_done: u64,
+    /// fsync-style operations completed (FsyncJournal patterns).
+    pub ops_done: u64,
+    /// Commands the target gates had to buffer because the network
+    /// delivered them out of order (zero when streams are pinned to
+    /// queue pairs, §4.5 Principle 2).
+    pub gate_buffered: u64,
+    /// NVMe-oF commands sent (merging shrinks this).
+    pub commands_sent: u64,
+    /// Wall-clock span of the run (first submit to last completion).
+    pub span: SimDuration,
+    /// Per-group completion latency.
+    pub group_latency: Histogram,
+    /// Per-fsync-op latency (submission of D to sync return).
+    pub op_latency: Histogram,
+    /// Fig. 14 breakdown: dispatch latency of the D, JM and JC stages
+    /// plus the final I/O wait, in nanoseconds.
+    pub stage_dispatch: [MeanAccum; 4],
+    /// Initiator CPU utilisation in `[0, 1]`.
+    pub initiator_util: f64,
+    /// Mean target CPU utilisation in `[0, 1]`.
+    pub target_util: f64,
+    /// When the run finished.
+    pub finished_at: SimTime,
+}
+
+impl RunMetrics {
+    /// Blocks per second (the paper's KIOPS axis × 1000).
+    pub fn block_iops(&self) -> f64 {
+        if self.span.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.blocks_done as f64 / self.span.as_secs_f64()
+    }
+
+    /// Groups (ordered requests) per second.
+    pub fn group_iops(&self) -> f64 {
+        if self.span.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.groups_done as f64 / self.span.as_secs_f64()
+    }
+
+    /// fsync operations per second (FS workloads).
+    pub fn op_iops(&self) -> f64 {
+        if self.span.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.ops_done as f64 / self.span.as_secs_f64()
+    }
+
+    /// Write bandwidth in bytes per second.
+    pub fn bandwidth(&self) -> f64 {
+        self.block_iops() * 4096.0
+    }
+
+    /// CPU efficiency at the initiator: throughput per unit of CPU
+    /// (§6.1: "throughput ÷ CPU utilization").
+    pub fn initiator_efficiency(&self) -> f64 {
+        if self.initiator_util <= 0.0 {
+            return 0.0;
+        }
+        self.block_iops() / self.initiator_util
+    }
+
+    /// CPU efficiency at the targets.
+    pub fn target_efficiency(&self) -> f64 {
+        if self.target_util <= 0.0 {
+            return 0.0;
+        }
+        self.block_iops() / self.target_util
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(blocks: u64, span_ms: u64, util: f64) -> RunMetrics {
+        RunMetrics {
+            blocks_done: blocks,
+            groups_done: blocks,
+            ops_done: blocks,
+            gate_buffered: 0,
+            commands_sent: blocks,
+            span: SimDuration::from_millis(span_ms),
+            group_latency: Histogram::new(),
+            op_latency: Histogram::new(),
+            stage_dispatch: Default::default(),
+            initiator_util: util,
+            target_util: util / 2.0,
+            finished_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn iops_and_bandwidth() {
+        let m = metrics(150_000, 1000, 0.5);
+        assert!((m.block_iops() - 150_000.0).abs() < 1.0);
+        assert!((m.bandwidth() - 150_000.0 * 4096.0).abs() < 4096.0);
+    }
+
+    #[test]
+    fn efficiency_divides_by_util() {
+        let m = metrics(100_000, 1000, 0.5);
+        assert!((m.initiator_efficiency() - 200_000.0).abs() < 1.0);
+        assert!((m.target_efficiency() - 400_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_span_and_util_are_safe() {
+        let m = metrics(0, 0, 0.0);
+        assert_eq!(m.block_iops(), 0.0);
+        assert_eq!(m.initiator_efficiency(), 0.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Application workloads over RioFS (§6.3–§6.4).
+//!
+//! * [`fio`] — the FIO-style microbenchmark driver (append + fsync).
+//! * [`varmail`] — the Filebench Varmail personality: create / append /
+//!   fsync / read / delete over a pool of mail files.
+//! * [`minikv`] — a RocksDB-flavoured key-value store: a write-ahead
+//!   log with per-put fsync (`fillsync`), an in-memory memtable, and
+//!   SST flushes, all over the file system.
+//!
+//! Each workload runs against the *real* [`rio_fs::RioFs`] for
+//! functional correctness (these are also the examples' engines); the
+//! performance figures use the same I/O shapes through `rio-stack`'s
+//! cluster (see `rio-bench`).
+
+pub mod fio;
+pub mod minikv;
+pub mod varmail;
+
+pub use fio::FioJob;
+pub use minikv::MiniKv;
+pub use varmail::{Varmail, VarmailStats};

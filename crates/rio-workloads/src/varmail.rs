@@ -1,0 +1,162 @@
+//! The Filebench Varmail personality (§6.4).
+//!
+//! Varmail models a mail server: a pool of mail files receives a mix of
+//! create+append+fsync (new mail), append+fsync (reply), whole-file
+//! reads, and delete operations. It is metadata- and fsync-intensive —
+//! exactly the load where an order-preserving fsync path pays off.
+
+use rio_fs::{BlockDev, FsError, RioFs};
+use rio_sim::SimRng;
+
+/// Operation counters.
+#[derive(Debug, Default, Clone)]
+pub struct VarmailStats {
+    /// Files created (new mail).
+    pub creates: u64,
+    /// Appends + fsync (delivery or reply).
+    pub appends: u64,
+    /// Whole-file reads.
+    pub reads: u64,
+    /// Files deleted.
+    pub deletes: u64,
+    /// Operations that found no target file (empty pool reads/deletes).
+    pub noops: u64,
+}
+
+/// A Varmail driver over one mounted file system.
+pub struct Varmail {
+    rng: SimRng,
+    /// Live mail files.
+    pool: Vec<String>,
+    /// Upper bound on the pool (Filebench's `nfiles`).
+    nfiles: usize,
+    next_id: u64,
+    /// Journal area to commit through.
+    core: usize,
+    /// Stats.
+    pub stats: VarmailStats,
+}
+
+impl Varmail {
+    /// Creates a driver with a target pool of `nfiles` mail files.
+    pub fn new(seed: u64, nfiles: usize, core: usize) -> Self {
+        Varmail {
+            rng: SimRng::seed_from_u64(seed),
+            pool: Vec::new(),
+            nfiles: nfiles.max(1),
+            next_id: 0,
+            core,
+            stats: VarmailStats::default(),
+        }
+    }
+
+    fn mail_body(&mut self) -> Vec<u8> {
+        // 1-3 blocks of "mail".
+        let blocks = self.rng.between(1, 3) as usize;
+        vec![b'm'; blocks * 4096 - 100]
+    }
+
+    /// Runs one Varmail operation (the Filebench op mix).
+    pub fn step<D: BlockDev>(&mut self, fs: &mut RioFs<D>) -> Result<(), FsError> {
+        let roll = self.rng.below(100);
+        match roll {
+            // 40%: new mail — create, write, fsync.
+            0..=39 => {
+                if self.pool.len() >= self.nfiles {
+                    self.delete_one(fs)?;
+                }
+                let name = format!("mail.{}", self.next_id);
+                self.next_id += 1;
+                fs.create(&name)?;
+                let body = self.mail_body();
+                fs.write(&name, 0, &body)?;
+                fs.fsync(&name, self.core)?;
+                self.pool.push(name);
+                self.stats.creates += 1;
+            }
+            // 30%: reply — append to an existing mail, fsync.
+            40..=69 => match self.pick(fs) {
+                Some(name) => {
+                    let size = fs.stat(&name).unwrap_or(0);
+                    let add = b"Re: re: re".to_vec();
+                    if size + add.len() as u64 <= rio_fs::layout::Inode::max_size() {
+                        fs.write(&name, size, &add)?;
+                        fs.fsync(&name, self.core)?;
+                        self.stats.appends += 1;
+                    }
+                }
+                None => self.stats.noops += 1,
+            },
+            // 20%: read a whole mail.
+            70..=89 => match self.pick(fs) {
+                Some(name) => {
+                    let size = fs.stat(&name).unwrap_or(0) as usize;
+                    let _ = fs.read(&name, 0, size)?;
+                    self.stats.reads += 1;
+                }
+                None => self.stats.noops += 1,
+            },
+            // 10%: delete.
+            _ => {
+                if self.pool.is_empty() {
+                    self.stats.noops += 1;
+                } else {
+                    self.delete_one(fs)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn pick<D: BlockDev>(&mut self, _fs: &RioFs<D>) -> Option<String> {
+        let idx = self.rng.pick_index(self.pool.len())?;
+        Some(self.pool[idx].clone())
+    }
+
+    fn delete_one<D: BlockDev>(&mut self, fs: &mut RioFs<D>) -> Result<(), FsError> {
+        let idx = self
+            .rng
+            .pick_index(self.pool.len())
+            .expect("non-empty pool");
+        let name = self.pool.swap_remove(idx);
+        fs.unlink(&name)?;
+        fs.fsync(&name.clone(), self.core).ok(); // Metadata-only commit.
+        self.stats.deletes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_fs::MemDev;
+
+    #[test]
+    fn thousand_ops_stay_consistent() {
+        let mut fs = RioFs::mkfs(MemDev::new(8192), 4);
+        let mut vm = Varmail::new(7, 16, 0);
+        for _ in 0..1000 {
+            vm.step(&mut fs).expect("varmail op");
+        }
+        assert!(fs.fsck().is_empty(), "fsck after 1000 ops");
+        assert!(vm.stats.creates > 100);
+        assert!(vm.stats.appends > 50);
+        assert!(vm.stats.reads > 50);
+        assert!(vm.stats.deletes > 20);
+        // The pool respects its bound.
+        assert!(fs.readdir().len() <= 17);
+    }
+
+    #[test]
+    fn survives_remount_mid_run() {
+        let mut fs = RioFs::mkfs(MemDev::new(8192), 2);
+        let mut vm = Varmail::new(3, 8, 0);
+        for _ in 0..200 {
+            vm.step(&mut fs).expect("varmail op");
+        }
+        let files_before = fs.readdir().len();
+        let fs2 = RioFs::mount(fs.into_device()).expect("remount");
+        assert!(fs2.fsck().is_empty());
+        assert_eq!(fs2.readdir().len(), files_before);
+    }
+}

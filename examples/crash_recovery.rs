@@ -1,0 +1,65 @@
+//! The §6.5 crash-recovery experiment, narrated.
+//!
+//! Drives 8 threads of ordered writes under Rio, crashes both target
+//! servers mid-flight, then runs the recovery algorithm: scan the PMR
+//! logs, rebuild the global ordering list, and roll back the blocks
+//! that disobey the storage order.
+//!
+//! Run with: `cargo run --release --example crash_recovery`
+
+use rio::net::FabricProfile;
+use rio::sim::SimTime;
+use rio::ssd::SsdProfile;
+use rio::stack::crash::run_crash_recovery;
+use rio::stack::{ClusterConfig, OrderingMode, TargetConfig, Workload};
+
+fn main() {
+    let cfg = ClusterConfig {
+        seed: 2023,
+        mode: OrderingMode::Rio { merge: true },
+        initiator_cores: 8,
+        targets: vec![
+            TargetConfig {
+                ssds: vec![SsdProfile::optane905p()],
+                cores: 8,
+            },
+            TargetConfig {
+                ssds: vec![SsdProfile::pm981()],
+                cores: 8,
+            },
+        ],
+        fabric: FabricProfile::connectx6(),
+        cpu: Default::default(),
+        streams: 8,
+        qps_per_target: 8,
+        stripe_blocks: 1,
+        max_inflight_per_stream: 32,
+        plug_merge: true,
+        pin_stream_to_qp: true,
+    };
+    let wl = Workload::random_4k(8, 1_000_000);
+    println!("Running 8 threads of 4 KB ordered writes over 2 targets,");
+    println!("then pulling the power at t = 3 ms...\n");
+    let report = run_crash_recovery(cfg, wl, SimTime::from_nanos(3_000_000));
+
+    println!("Crash at {}", report.crashed_at);
+    println!(
+        "Phase 1 (order rebuild): {:.2} ms — scanned {} PMR records",
+        report.order_rebuild.as_secs_f64() * 1e3,
+        report.records_scanned
+    );
+    println!(
+        "Phase 2 (data recovery): {:.2} ms — {} out-of-order blocks discarded",
+        report.data_recovery.as_secs_f64() * 1e3,
+        report.discards
+    );
+    println!("\nPer-stream valid prefixes (the D1 <- ... <- Dk of the proof):");
+    for (stream, seq) in report.valid_through.iter().take(8) {
+        println!(
+            "  stream {:>2}: global order intact through seq {}",
+            stream.0, seq.0
+        );
+    }
+    println!("\nEvery stream recovered to a prefix of its submitted order —");
+    println!("no out-of-order persistence survives (paper §4.8).");
+}

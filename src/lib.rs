@@ -1,0 +1,34 @@
+//! Rio: order-preserving and CPU-efficient remote storage access.
+//!
+//! A full reproduction of *Liao, Yang, Shu — "Rio: Order-Preserving and
+//! CPU-Efficient Remote Storage Access" (EuroSys 2023)* as a Rust
+//! workspace. This facade crate re-exports every subsystem:
+//!
+//! * [`order`] — the paper's contribution: ordering attributes, the
+//!   sequencer, ORDER-queue merging/splitting, the target submission
+//!   gate, the PMR log, in-order completion, and crash recovery.
+//! * [`proto`] — NVMe(-oF) wire formats including the Table 1 command
+//!   extension.
+//! * [`ssd`], [`net`] — device models: NVMe SSDs (flash/Optane, write
+//!   caches, FLUSH, PMR) and an RDMA fabric (RC in-order delivery,
+//!   one-sided vs two-sided costs).
+//! * [`block`] — bios, plug merging, striped volumes.
+//! * [`stack`] — the whole-cluster simulation driving the four ordering
+//!   engines (orderless / Linux NVMe-oF / Horae / Rio) plus crash
+//!   experiments.
+//! * [`fs`] — RioFS: a journaling file system over the ordered block
+//!   device, with per-core journals and crash recovery.
+//! * [`workloads`] — FIO, Filebench-Varmail and RocksDB-style drivers.
+//!
+//! See DESIGN.md for the architecture, EXPERIMENTS.md for the
+//! paper-vs-measured results, and `examples/` for runnable tours.
+
+pub use rio_block as block;
+pub use rio_fs as fs;
+pub use rio_net as net;
+pub use rio_order as order;
+pub use rio_proto as proto;
+pub use rio_sim as sim;
+pub use rio_ssd as ssd;
+pub use rio_stack as stack;
+pub use rio_workloads as workloads;
