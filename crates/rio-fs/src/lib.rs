@@ -6,7 +6,7 @@
 //! this crate makes pluggable — is **how the journal's ordered writes
 //! reach the device**:
 //!
-//! * [`device::SyncDev`]-style backends model Ext4's synchronous
+//! * [`device::MemDev`]-style synchronous backends model Ext4's
 //!   transfer-and-FLUSH,
 //! * [`device::OrderedDev`] models Rio's ordered block device: groups
 //!   of writes are submitted asynchronously and a crash exposes any

@@ -102,7 +102,7 @@ proptest! {
         let mut completer = InOrderCompleter::new(1);
         let mut delivered: Vec<Seq> = Vec::new();
         for &i in &order {
-            let (unit_id, attr) = fragments[i];
+            let (_unit_id, attr) = fragments[i];
             let srv = attr.server.0 as usize;
             for (r_attr, _) in gates[srv].arrive(attr, i as u64) {
                 released[srv].push(r_attr.dispatch_idx);

@@ -1,0 +1,220 @@
+//! Vendored, dependency-free subset of the `criterion` API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides a minimal wall-clock benchmark harness with criterion's
+//! surface: [`Criterion`] with `sample_size`/`measurement_time`/
+//! `warm_up_time`, [`Bencher::iter`] and [`Bencher::iter_batched`],
+//! [`BatchSize`], [`black_box`], and the [`criterion_group!`]/
+//! [`criterion_main!`] macros (both the plain and the
+//! `name/config/targets` forms).
+//!
+//! Statistics are intentionally simple: per benchmark it reports the
+//! mean, minimum, and maximum nanoseconds per iteration over
+//! `sample_size` samples, after a warm-up period. There is no outlier
+//! rejection, plotting, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup; only a sizing hint here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher<'a> {
+    cfg: &'a Criterion,
+    /// Collected per-sample mean nanoseconds per iteration.
+    samples: Vec<f64>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called in a loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate: how many iterations fill one sample's time slice?
+        let slice = self.cfg.measurement_time.as_secs_f64() / self.cfg.sample_size as f64;
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().as_secs_f64().max(1e-9);
+        let iters = ((slice / once).clamp(1.0, 1e7)) as u64;
+
+        let warm_until = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_until {
+            black_box(routine());
+        }
+
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    /// Times `routine` over inputs built by the untimed `setup`.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_until = Instant::now() + self.cfg.warm_up_time;
+        while Instant::now() < warm_until {
+            let input = setup();
+            black_box(routine(input));
+        }
+
+        // One setup + one timed routine call per iteration; several
+        // iterations per sample to dampen timer granularity.
+        let iters_per_sample = 16u64;
+        self.samples.clear();
+        for _ in 0..self.cfg.sample_size {
+            let mut total_ns = 0u128;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                black_box(routine(input));
+                total_ns += start.elapsed().as_nanos();
+            }
+            self.samples.push(total_ns as f64 / iters_per_sample as f64);
+        }
+    }
+}
+
+/// Benchmark driver, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the total time budget for one benchmark's samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the untimed warm-up duration.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            cfg: self,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        let samples = b.samples;
+        if samples.is_empty() {
+            println!("{name:<32} (no samples collected)");
+            return self;
+        }
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().cloned().fold(0.0f64, f64::max);
+        println!("{name:<32} time: [{min:>10.1} ns {mean:>10.1} ns {max:>10.1} ns]/iter");
+        self
+    }
+}
+
+/// Bundles benchmark functions into one group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| {
+            b.iter(|| (0..1000u64).sum::<u64>());
+        });
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(1));
+        work(&mut c);
+    }
+
+    criterion_group!(plain_group, work);
+    criterion_group!(
+        name = configured_group;
+        config = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20)).warm_up_time(Duration::from_millis(1));
+        targets = work
+    );
+
+    #[test]
+    fn groups_compile_and_run() {
+        configured_group();
+        let _ = plain_group as fn();
+    }
+}
