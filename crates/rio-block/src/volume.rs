@@ -104,12 +104,41 @@ impl StripedVolume {
     ///
     /// Panics if the range exceeds the volume capacity.
     pub fn map(&self, range: BlockRange) -> Vec<Extent> {
+        let mut extents = Vec::new();
+        self.map_into(range, &mut extents);
+        extents
+    }
+
+    /// Allocation-free form of [`Self::map`]: appends the extents to
+    /// `extents` (which is *not* cleared). The hot path — a write that
+    /// stays inside one stripe chunk, e.g. every 4 KB write on a 4 KB
+    /// stripe — takes a direct arithmetic shortcut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the volume capacity.
+    pub fn map_into(&self, range: BlockRange, extents: &mut Vec<Extent>) {
         assert!(
             range.end() <= self.capacity_blocks,
             "range beyond volume capacity"
         );
-        let mut extents: Vec<Extent> = Vec::new();
-        // Index of the open extent per leg, or usize::MAX.
+        // Fast path: the whole range sits inside one stripe chunk, so
+        // it is one physically contiguous extent on one device.
+        if range.lba % self.stripe_blocks + range.blocks as u64 <= self.stripe_blocks {
+            let (server, ssd, plba) = self.map_block(range.lba);
+            extents.push(Extent {
+                server,
+                ssd,
+                range: BlockRange::new(plba, range.blocks),
+                logical_offset: 0,
+            });
+            return;
+        }
+        let base = extents.len();
+        // Index of the open extent per leg (relative to `base`), or
+        // usize::MAX. Legs counts are small; a stack-avoiding scan of
+        // the freshly appended extents would also do, but this keeps
+        // the general path identical to the original algorithm.
         let mut open: Vec<usize> = vec![usize::MAX; self.legs.len()];
         for i in 0..range.blocks as u64 {
             let lba = range.lba + i;
@@ -117,11 +146,11 @@ impl StripedVolume {
             let leg = (chunk % self.legs.len() as u64) as usize;
             let (server, ssd, plba) = self.map_block(lba);
             let slot = open[leg];
-            if slot != usize::MAX && extents[slot].range.end() == plba {
-                extents[slot].range.blocks += 1;
+            if slot != usize::MAX && extents[base + slot].range.end() == plba {
+                extents[base + slot].range.blocks += 1;
                 continue;
             }
-            open[leg] = extents.len();
+            open[leg] = extents.len() - base;
             extents.push(Extent {
                 server,
                 ssd,
@@ -129,7 +158,6 @@ impl StripedVolume {
                 logical_offset: i,
             });
         }
-        extents
     }
 }
 

@@ -11,14 +11,24 @@
 //! Fragment (split) completions are rejoined *below* this layer by the
 //! block layer — exactly as Linux completes a parent bio only when all
 //! split children finish — so the completer only sees logical members.
+//!
+//! # Hot-path layout
+//!
+//! Sequence numbers are contiguous per stream, so the pending set is a
+//! *dense ring*: slot `i` of the ring is group `delivered_through + 1 +
+//! i`. Lookup, insert and release are direct index arithmetic on a
+//! `VecDeque` instead of the tree walk a `BTreeMap` would pay per
+//! completion.
 
-use std::collections::BTreeMap;
+use std::collections::VecDeque;
 
 use crate::attr::{OrderingAttr, Seq, StreamId};
 
 /// Progress of one pending group or merged span.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 enum Pending {
+    /// No completion has arrived for this sequence yet.
+    Vacant,
     /// An unmerged group accumulating member completions.
     Group {
         members_done: u16,
@@ -35,16 +45,29 @@ enum Pending {
 struct StreamCompletions {
     /// Every group at or below this sequence has been delivered.
     delivered_through: Seq,
-    /// Pending groups keyed by their first sequence number.
-    pending: BTreeMap<u32, Pending>,
+    /// Dense pending ring: `ring[i]` tracks group
+    /// `delivered_through + 1 + i`.
+    ring: VecDeque<Pending>,
+    /// Occupied (non-vacant) ring slots, i.e. buffered groups.
+    pending_count: usize,
 }
 
 impl StreamCompletions {
     fn new() -> Self {
         StreamCompletions {
             delivered_through: Seq::HEAD,
-            pending: BTreeMap::new(),
+            ring: VecDeque::new(),
+            pending_count: 0,
         }
+    }
+
+    /// Slot for `seq`, growing the ring with vacancies as needed.
+    fn slot_mut(&mut self, seq: Seq) -> &mut Pending {
+        let idx = (seq.0 - self.delivered_through.0 - 1) as usize;
+        if idx >= self.ring.len() {
+            self.ring.resize(idx + 1, Pending::Vacant);
+        }
+        &mut self.ring[idx]
     }
 }
 
@@ -88,6 +111,21 @@ impl InOrderCompleter {
         }
     }
 
+    /// Creates a completer whose per-stream rings are pre-sized for a
+    /// completion window of `window` groups, avoiding ring growth on
+    /// the hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_streams` is zero.
+    pub fn with_window(n_streams: usize, window: usize) -> Self {
+        let mut c = Self::new(n_streams);
+        for st in &mut c.streams {
+            st.ring.reserve(window);
+        }
+        c
+    }
+
     /// Highest sequence delivered to the application on `stream`.
     pub fn delivered_through(&self, stream: StreamId) -> Seq {
         self.streams[stream.0 as usize].delivered_through
@@ -100,7 +138,7 @@ impl InOrderCompleter {
 
     /// Number of groups buffered but not yet deliverable on `stream`.
     pub fn pending_groups(&self, stream: StreamId) -> usize {
-        self.streams[stream.0 as usize].pending.len()
+        self.streams[stream.0 as usize].pending_count
     }
 
     /// Records the internal completion of one logical request and
@@ -113,6 +151,19 @@ impl InOrderCompleter {
     /// a group overruns its member count, or a merged span overlaps an
     /// existing pending group (protocol violations).
     pub fn on_done(&mut self, attr: &OrderingAttr) -> Vec<Seq> {
+        let mut released = Vec::new();
+        self.on_done_into(attr, &mut released);
+        released
+    }
+
+    /// Allocation-free form of [`Self::on_done`]: appends the newly
+    /// deliverable sequence numbers to `released` (which is *not*
+    /// cleared), letting hot callers reuse one buffer across events.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::on_done`].
+    pub fn on_done_into(&mut self, attr: &OrderingAttr, released: &mut Vec<Seq>) {
         let st = self
             .streams
             .get_mut(attr.stream.0 as usize)
@@ -123,31 +174,32 @@ impl InOrderCompleter {
             attr.seq_start
         );
 
+        let slot = st.slot_mut(attr.seq_start);
+        let was_vacant = matches!(slot, Pending::Vacant);
         if attr.is_merged_span() {
-            let entry = st
-                .pending
-                .entry(attr.seq_start.0)
-                .or_insert(Pending::MergedSpan {
+            if was_vacant {
+                *slot = Pending::MergedSpan {
                     seq_end: attr.seq_end,
                     done: false,
-                });
-            match entry {
+                };
+            }
+            match slot {
                 Pending::MergedSpan { seq_end, done } => {
                     assert_eq!(*seq_end, attr.seq_end, "inconsistent merged span");
                     assert!(!*done, "duplicate merged-span completion");
                     *done = true;
                 }
                 Pending::Group { .. } => panic!("merged span overlaps plain group"),
+                Pending::Vacant => unreachable!("slot was just filled"),
             }
         } else {
-            let entry = st
-                .pending
-                .entry(attr.seq_start.0)
-                .or_insert(Pending::Group {
+            if was_vacant {
+                *slot = Pending::Group {
                     members_done: 0,
                     num: None,
-                });
-            match entry {
+                };
+            }
+            match slot {
                 Pending::Group { members_done, num } => {
                     *members_done += 1;
                     if attr.boundary {
@@ -163,27 +215,35 @@ impl InOrderCompleter {
                     }
                 }
                 Pending::MergedSpan { .. } => panic!("plain completion overlaps merged span"),
+                Pending::Vacant => unreachable!("slot was just filled"),
             }
+        }
+        if was_vacant {
+            st.pending_count += 1;
         }
 
         // Release the contiguous prefix of finished groups.
-        let mut released = Vec::new();
         loop {
-            let next = st.delivered_through.next();
-            let finished_to = match st.pending.get(&next.0) {
+            let finished_to = match st.ring.front() {
                 Some(Pending::Group {
                     members_done,
                     num: Some(n),
-                }) if members_done == n => next,
+                }) if members_done == n => st.delivered_through.next(),
                 Some(Pending::MergedSpan {
                     seq_end,
                     done: true,
                 }) => *seq_end,
                 _ => break,
             };
-            st.pending.remove(&next.0);
-            let mut s = next;
+            // Drop the covered slots; a merged span's tail slots are
+            // vacant (the span completes as one unit).
+            let mut s = st.delivered_through.next();
             loop {
+                if let Some(p) = st.ring.pop_front() {
+                    if !matches!(p, Pending::Vacant) {
+                        st.pending_count -= 1;
+                    }
+                }
                 released.push(s);
                 if s == finished_to {
                     break;
@@ -192,7 +252,6 @@ impl InOrderCompleter {
             }
             st.delivered_through = finished_to;
         }
-        released
     }
 
     /// Resets a stream after crash recovery: delivery resumes above
@@ -200,7 +259,8 @@ impl InOrderCompleter {
     pub fn reset_stream(&mut self, stream: StreamId, delivered_through: Seq) {
         let st = &mut self.streams[stream.0 as usize];
         st.delivered_through = delivered_through;
-        st.pending.clear();
+        st.ring.clear();
+        st.pending_count = 0;
     }
 }
 

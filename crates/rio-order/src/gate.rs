@@ -12,8 +12,15 @@
 //! every request immediately — the paper's "in-order delivery removes
 //! this overhead" observation is then directly visible in the gate's
 //! [`SubmissionGate::buffered_peak`] statistic staying at zero.
+//!
+//! # Hot-path layout
+//!
+//! Dispatch ordinals are dense per stream, so early arrivals live in a
+//! ring (`ring[i]` holds ordinal `next + 1 + i`) and streams live in a
+//! plain `Vec` indexed by stream id — the fast path (in-order arrival,
+//! nothing buffered) touches no map at all.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::VecDeque;
 
 use crate::attr::OrderingAttr;
 
@@ -22,8 +29,8 @@ use crate::attr::OrderingAttr;
 struct GateStream {
     /// Next dispatch ordinal expected from the initiator.
     next: u64,
-    /// Early arrivals keyed by dispatch ordinal.
-    buffered: BTreeMap<u64, (OrderingAttr, u64)>,
+    /// Early arrivals: `ring[i]` buffers ordinal `next + 1 + i`.
+    ring: VecDeque<Option<(OrderingAttr, u64)>>,
 }
 
 /// Reorders arrivals back into per-server submission order.
@@ -48,7 +55,8 @@ struct GateStream {
 /// ```
 #[derive(Debug, Default)]
 pub struct SubmissionGate {
-    streams: HashMap<u16, GateStream>,
+    /// Indexed directly by stream id; grown on demand.
+    streams: Vec<GateStream>,
     buffered_now: usize,
     buffered_peak: usize,
     total_buffered_events: u64,
@@ -60,6 +68,14 @@ impl SubmissionGate {
         SubmissionGate::default()
     }
 
+    /// Creates a gate pre-sized for stream ids `0..n_streams`, so the
+    /// hot path never grows the stream table.
+    pub fn with_streams(n_streams: usize) -> Self {
+        let mut g = SubmissionGate::default();
+        g.streams.resize_with(n_streams, GateStream::default);
+        g
+    }
+
     /// Handles the arrival of an ordered request and returns the
     /// requests (attribute, token) now releasable to the SSD, in order.
     ///
@@ -68,30 +84,65 @@ impl SubmissionGate {
     /// Panics on a duplicate or stale dispatch ordinal (the transport is
     /// reliable; duplicates indicate a protocol bug).
     pub fn arrive(&mut self, attr: OrderingAttr, token: u64) -> Vec<(OrderingAttr, u64)> {
-        let st = self.streams.entry(attr.stream.0).or_default();
+        let mut released = Vec::new();
+        self.arrive_into(attr, token, &mut released);
+        released
+    }
+
+    /// Allocation-free form of [`Self::arrive`]: appends releasable
+    /// requests to `released` (which is *not* cleared), letting hot
+    /// callers reuse one buffer across arrivals.
+    ///
+    /// # Panics
+    ///
+    /// As [`Self::arrive`].
+    pub fn arrive_into(
+        &mut self,
+        attr: OrderingAttr,
+        token: u64,
+        released: &mut Vec<(OrderingAttr, u64)>,
+    ) {
+        let sid = attr.stream.0 as usize;
+        if sid >= self.streams.len() {
+            self.streams.resize_with(sid + 1, GateStream::default);
+        }
+        let st = &mut self.streams[sid];
         assert!(
             attr.dispatch_idx >= st.next,
             "stale dispatch ordinal {} (next expected {})",
             attr.dispatch_idx,
             st.next
         );
-        let mut released = Vec::new();
         if attr.dispatch_idx == st.next {
             st.next += 1;
             released.push((attr, token));
-            while let Some(entry) = st.buffered.remove(&st.next) {
-                st.next += 1;
-                self.buffered_now -= 1;
-                released.push(entry);
+            // Drain the contiguous run of buffered successors. After
+            // each increment of `next` the ring's front slot is the one
+            // for the new `next`: release it if filled, and when it is
+            // an empty placeholder consume it too (its ordinal will now
+            // arrive as a direct, in-order delivery).
+            loop {
+                match st.ring.pop_front() {
+                    Some(Some(entry)) => {
+                        st.next += 1;
+                        self.buffered_now -= 1;
+                        released.push(entry);
+                    }
+                    Some(None) | None => break,
+                }
             }
         } else {
-            let prior = st.buffered.insert(attr.dispatch_idx, (attr, token));
-            assert!(prior.is_none(), "duplicate dispatch ordinal");
+            let off = (attr.dispatch_idx - st.next - 1) as usize;
+            if off >= st.ring.len() {
+                st.ring.resize_with(off + 1, || None);
+            }
+            let slot = &mut st.ring[off];
+            assert!(slot.is_none(), "duplicate dispatch ordinal");
+            *slot = Some((attr, token));
             self.buffered_now += 1;
             self.total_buffered_events += 1;
             self.buffered_peak = self.buffered_peak.max(self.buffered_now);
         }
-        released
     }
 
     /// Requests currently held back waiting for predecessors.

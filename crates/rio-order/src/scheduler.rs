@@ -250,6 +250,19 @@ impl OrderQueue {
 /// attribute is already a fragment, or if there are more than 256
 /// fragments.
 pub fn split_attr(attr: &OrderingAttr, extents: &[BlockRange]) -> Vec<OrderingAttr> {
+    let mut frags = Vec::with_capacity(extents.len());
+    split_attr_into(attr, extents, &mut frags);
+    frags
+}
+
+/// Allocation-free form of [`split_attr`]: appends the fragments to
+/// `frags` (which is *not* cleared), letting hot callers reuse one
+/// buffer across dispatches.
+///
+/// # Panics
+///
+/// As [`split_attr`].
+pub fn split_attr_into(attr: &OrderingAttr, extents: &[BlockRange], frags: &mut Vec<OrderingAttr>) {
     assert!(attr.split.is_none(), "re-splitting a fragment");
     assert!(!extents.is_empty(), "no extents");
     assert!(extents.len() <= 256, "too many fragments");
@@ -261,21 +274,18 @@ pub fn split_attr(attr: &OrderingAttr, extents: &[BlockRange]) -> Vec<OrderingAt
     if extents.len() == 1 {
         let mut only = *attr;
         only.range = extents[0];
-        return vec![only];
+        frags.push(only);
+        return;
     }
-    extents
-        .iter()
-        .enumerate()
-        .map(|(i, e)| {
-            let mut frag = *attr;
-            frag.range = *e;
-            frag.split = Some(SplitInfo {
-                idx: i as u8,
-                last: i == extents.len() - 1,
-            });
-            frag
-        })
-        .collect()
+    frags.extend(extents.iter().enumerate().map(|(i, e)| {
+        let mut frag = *attr;
+        frag.range = *e;
+        frag.split = Some(SplitInfo {
+            idx: i as u8,
+            last: i == extents.len() - 1,
+        });
+        frag
+    }));
 }
 
 #[cfg(test)]

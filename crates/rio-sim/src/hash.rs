@@ -1,0 +1,121 @@
+//! A fast, deterministic hasher for simulator-internal maps.
+//!
+//! `std`'s default SipHash is keyed per process for HashDoS resistance
+//! — protection simulator-internal maps keyed by block numbers don't
+//! need, and whose per-lookup cost shows up directly in engine
+//! throughput. This is the FxHash multiply-and-rotate scheme (as used
+//! by rustc): unkeyed, platform-independent, and a handful of cycles
+//! per word.
+//!
+//! Use it only for maps whose *contents* are never iterated in an
+//! order-sensitive way, or iterate sorted.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The FxHash word-at-a-time hasher.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), 0);
+    }
+
+    #[test]
+    fn byte_stream_is_deterministic() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(&[1, 2, 3]), hash(&[1, 2, 3]));
+        assert_ne!(hash(&[1, 2, 3]), hash(&[3, 2, 1]));
+        assert_ne!(hash(b"0123456789abcdef"), hash(b"0123456789abcdeg"));
+    }
+
+    #[test]
+    fn map_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        for k in 0..1000u64 {
+            m.insert(k, "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&999));
+        let mut s: FxHashSet<u32> = FxHashSet::default();
+        s.insert(7);
+        assert!(s.contains(&7));
+    }
+}

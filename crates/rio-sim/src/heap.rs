@@ -1,44 +1,69 @@
 //! A time-ordered event heap with stable FIFO tie-breaking.
 //!
-//! Determinism requires that two events scheduled for the same instant pop
-//! in the order they were pushed; a plain [`std::collections::BinaryHeap`]
-//! over `(time, payload)` does not guarantee this, so every entry carries
-//! a monotonically increasing sequence number as a tiebreaker.
+//! Determinism requires that two events scheduled for the same instant
+//! pop in the order they were pushed, so every entry carries a
+//! monotonically increasing sequence number as a tiebreaker.
+//!
+//! # Hot-path layout
+//!
+//! The heap is the single busiest structure in the simulator, so it is
+//! split into two arrays:
+//!
+//! * the *heap* itself holds only fixed-size keys — `(time, seq)`
+//!   packed into one `u128` plus a `u32` slot index — so every sift
+//!   compares a single integer and moves 24 bytes, independent of the
+//!   event payload type;
+//! * the *slab* stores the payloads at stable slot indices with a free
+//!   list, so pushing and popping never moves an `E` more than once and
+//!   steady-state operation performs no allocation at all.
+//!
+//! Because `seq` is unique, the packed key is unique too and the
+//! comparison never falls back to the payload.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::time::SimTime;
 
-/// One scheduled entry: ordered by time, then by insertion sequence.
-struct Entry<E> {
-    at: SimTime,
-    seq: u64,
-    event: E,
+/// One heap node: the packed `(time, seq)` ordering key and the slab
+/// slot holding the payload.
+#[derive(Clone, Copy)]
+struct Node {
+    /// `(time << 64) | seq`: a single integer compare orders by time,
+    /// then FIFO among ties.
+    key: u128,
+    slot: u32,
 }
 
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Node {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key
     }
 }
 
-impl<E> Eq for Entry<E> {}
+impl Eq for Node {}
 
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Node {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Entry<E> {
+impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reversed: BinaryHeap is a max-heap, we want the earliest first.
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+        other.key.cmp(&self.key)
     }
+}
+
+#[inline]
+fn pack(at: SimTime, seq: u64) -> u128 {
+    ((at.as_nanos() as u128) << 64) | seq as u128
+}
+
+#[inline]
+fn unpack_time(key: u128) -> SimTime {
+    SimTime::from_nanos((key >> 64) as u64)
 }
 
 /// A deterministic min-heap of timed events.
@@ -56,7 +81,11 @@ impl<E> Ord for Entry<E> {
 /// assert_eq!(heap.pop(), None);
 /// ```
 pub struct EventHeap<E> {
-    inner: BinaryHeap<Entry<E>>,
+    heap: BinaryHeap<Node>,
+    /// Slab of payloads; `None` marks a free slot.
+    slots: Vec<Option<E>>,
+    /// Free slot indices available for reuse.
+    free: Vec<u32>,
     next_seq: u64,
 }
 
@@ -70,41 +99,108 @@ impl<E> EventHeap<E> {
     /// Creates an empty heap.
     pub fn new() -> Self {
         EventHeap {
-            inner: BinaryHeap::new(),
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
             next_seq: 0,
         }
+    }
+
+    /// Creates an empty heap pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventHeap {
+            heap: BinaryHeap::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Reserves space for at least `additional` more pending events.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+        self.slots.reserve(additional);
     }
 
     /// Schedules `event` at instant `at`.
     pub fn push(&mut self, at: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.inner.push(Entry { at, seq, event });
+        let slot = match self.free.pop() {
+            Some(s) => {
+                debug_assert!(self.slots[s as usize].is_none());
+                self.slots[s as usize] = Some(event);
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Some(event));
+                s
+            }
+        };
+        self.heap.push(Node {
+            key: pack(at, seq),
+            slot,
+        });
     }
 
     /// Removes and returns the earliest event, FIFO among ties.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.inner.pop().map(|e| (e.at, e.event))
+        let node = self.heap.pop()?;
+        Some((unpack_time(node.key), self.take_slot(node.slot)))
+    }
+
+    /// Removes and returns the earliest event only when it is scheduled
+    /// at or before `deadline`; leaves the heap untouched otherwise.
+    ///
+    /// This is the single-probe form of `peek_time` + `pop` that the
+    /// engine's bounded-run loop uses.
+    pub fn pop_if_at_or_before(&mut self, deadline: SimTime) -> Option<(SimTime, E)> {
+        let key = self.heap.peek()?.key;
+        if unpack_time(key) > deadline {
+            return None;
+        }
+        let node = self.heap.pop().expect("peeked");
+        Some((unpack_time(node.key), self.take_slot(node.slot)))
+    }
+
+    /// Returns the earliest pending event without removing it.
+    pub fn peek(&self) -> Option<(SimTime, &E)> {
+        let node = self.heap.peek()?;
+        let event = self.slots[node.slot as usize]
+            .as_ref()
+            .expect("heap node points at live slot");
+        Some((unpack_time(node.key), event))
     }
 
     /// Returns the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.inner.peek().map(|e| e.at)
+        self.heap.peek().map(|n| unpack_time(n.key))
     }
 
     /// Returns the number of pending events.
     pub fn len(&self) -> usize {
-        self.inner.len()
+        self.heap.len()
     }
 
     /// Returns `true` if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.inner.is_empty()
+        self.heap.is_empty()
     }
 
     /// Removes all pending events.
     pub fn clear(&mut self) {
-        self.inner.clear();
+        self.heap.clear();
+        self.slots.clear();
+        self.free.clear();
+    }
+
+    fn take_slot(&mut self, slot: u32) -> E {
+        let event = self.slots[slot as usize]
+            .take()
+            .expect("heap node points at live slot");
+        self.free.push(slot);
+        event
     }
 }
 
@@ -144,6 +240,7 @@ mod tests {
         h.push(SimTime::from_nanos(9), 'a');
         h.push(SimTime::from_nanos(3), 'b');
         assert_eq!(h.peek_time(), Some(SimTime::from_nanos(3)));
+        assert_eq!(h.peek(), Some((SimTime::from_nanos(3), &'b')));
         let (t, e) = h.pop().unwrap();
         assert_eq!((t, e), (SimTime::from_nanos(3), 'b'));
         assert_eq!(h.peek_time(), Some(SimTime::from_nanos(9)));
@@ -158,6 +255,48 @@ mod tests {
         assert_eq!(h.len(), 2);
         h.clear();
         assert!(h.is_empty());
+    }
+
+    #[test]
+    fn pop_if_at_or_before_respects_deadline() {
+        let mut h = EventHeap::new();
+        h.push(SimTime::from_nanos(10), 'a');
+        h.push(SimTime::from_nanos(20), 'b');
+        assert_eq!(h.pop_if_at_or_before(SimTime::from_nanos(5)), None);
+        assert_eq!(h.len(), 2, "a refused probe must not consume");
+        assert_eq!(
+            h.pop_if_at_or_before(SimTime::from_nanos(10)),
+            Some((SimTime::from_nanos(10), 'a'))
+        );
+        assert_eq!(h.pop_if_at_or_before(SimTime::from_nanos(15)), None);
+        assert_eq!(
+            h.pop_if_at_or_before(SimTime::from_nanos(20)),
+            Some((SimTime::from_nanos(20), 'b'))
+        );
+        assert_eq!(h.pop_if_at_or_before(SimTime::FAR_FUTURE), None);
+    }
+
+    #[test]
+    fn slots_are_reused_without_growth() {
+        let mut h = EventHeap::with_capacity(4);
+        for round in 0..1000u64 {
+            h.push(SimTime::from_nanos(round), round);
+            h.push(SimTime::from_nanos(round), round + 1);
+            assert_eq!(h.pop().unwrap().1, round);
+            assert_eq!(h.pop().unwrap().1, round + 1);
+        }
+        // Steady-state push/pop cycles at depth 2 never need more than
+        // two payload slots.
+        assert!(h.slots.len() <= 2, "slab grew to {}", h.slots.len());
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut h = EventHeap::with_capacity(64);
+        h.push(SimTime::from_nanos(2), 'x');
+        h.push(SimTime::from_nanos(1), 'y');
+        assert_eq!(h.pop(), Some((SimTime::from_nanos(1), 'y')));
+        assert_eq!(h.pop(), Some((SimTime::from_nanos(2), 'x')));
     }
 
     proptest! {
@@ -179,6 +318,35 @@ mod tests {
                     }
                 }
                 prev = Some((t, i));
+            }
+        }
+
+        /// Interleaved pushes and pops match a reference model.
+        #[test]
+        fn prop_matches_reference_model(
+            ops in proptest::collection::vec((0u64..40, 0u8..2), 1..300),
+        ) {
+            let mut h = EventHeap::new();
+            let mut model: Vec<(u64, u64, u64)> = Vec::new(); // (t, seq, val)
+            let mut seq = 0u64;
+            for &(t, is_pop) in &ops {
+                if is_pop == 1 {
+                    model.sort();
+                    let want = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    let got = h.pop();
+                    match (want, got) {
+                        (None, None) => {}
+                        (Some((wt, _, wv)), Some((gt, gv))) => {
+                            prop_assert_eq!(wt, gt.as_nanos());
+                            prop_assert_eq!(wv, gv);
+                        }
+                        (w, g) => prop_assert!(false, "model {w:?} vs heap {g:?}"),
+                    }
+                } else {
+                    h.push(SimTime::from_nanos(t), seq);
+                    model.push((t, seq, seq));
+                    seq += 1;
+                }
             }
         }
     }

@@ -12,19 +12,25 @@
 //! * [`EventHeap`] — a time-ordered heap with FIFO tie-breaking, the
 //!   ordering backbone of the whole simulator.
 //! * [`rng`] — seeded pseudo-random sources for workloads and jitter.
+//! * [`slab`] — a generational slab arena keying in-flight objects by
+//!   dense ids, replacing hot-path hash maps.
 //! * [`stats`] — counters, mean accumulators and log-bucketed latency
 //!   histograms used by the benchmark harness.
 //! * [`resource`] — tiny analytic models of serial resources (a DMA
 //!   engine, a flash channel, a link) used by the device models.
 
+pub mod hash;
 pub mod heap;
 pub mod resource;
 pub mod rng;
+pub mod slab;
 pub mod stats;
 pub mod time;
 
+pub use hash::{FxHashMap, FxHashSet};
 pub use heap::EventHeap;
 pub use resource::{BandwidthLink, FifoResource, MultiServer};
 pub use rng::SimRng;
+pub use slab::Slab;
 pub use stats::{Counter, Histogram, MeanAccum};
 pub use time::{SimDuration, SimTime};

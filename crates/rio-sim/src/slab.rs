@@ -1,0 +1,226 @@
+//! A generational slab arena for hot-path object storage.
+//!
+//! The simulation engine keys in-flight objects (commands, dispatch
+//! units) by dense ids carried inside event payloads. A `HashMap` on
+//! that path pays a hash plus a probe per event; this slab replaces it
+//! with a direct `Vec` index. Keys are `u64`s that pack a 32-bit slot
+//! index with a 32-bit generation, so a stale key — one whose slot has
+//! been freed and reused — is detected instead of silently aliasing the
+//! new occupant.
+
+/// One slab entry: the current generation plus the payload, if live.
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A generational slab arena keyed by packed `u64` ids.
+///
+/// # Examples
+///
+/// ```
+/// use rio_sim::Slab;
+///
+/// let mut slab = Slab::new();
+/// let a = slab.insert("alpha");
+/// let b = slab.insert("beta");
+/// assert_eq!(slab.get(a), Some(&"alpha"));
+/// assert_eq!(slab.remove(b), Some("beta"));
+/// // The freed slot is reused under a new generation; the old key
+/// // no longer resolves.
+/// let c = slab.insert("gamma");
+/// assert_eq!(slab.get(b), None);
+/// assert_eq!(slab.get(c), Some(&"gamma"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Slab<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[inline]
+fn split(key: u64) -> (usize, u32) {
+    ((key & u32::MAX as u64) as usize, (key >> 32) as u32)
+}
+
+impl<T> Slab<T> {
+    /// Creates an empty slab.
+    pub fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Creates an empty slab pre-sized for `capacity` live entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Slab {
+            entries: Vec::with_capacity(capacity),
+            free: Vec::with_capacity(capacity),
+            len: 0,
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the slab holds no live entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` and returns its key.
+    pub fn insert(&mut self, value: T) -> u64 {
+        self.len += 1;
+        match self.free.pop() {
+            Some(idx) => {
+                let e = &mut self.entries[idx as usize];
+                debug_assert!(e.value.is_none());
+                e.value = Some(value);
+                (e.generation as u64) << 32 | idx as u64
+            }
+            None => {
+                let idx = self.entries.len() as u32;
+                assert!(idx < u32::MAX, "slab exhausted its 32-bit index space");
+                self.entries.push(Entry {
+                    generation: 0,
+                    value: Some(value),
+                });
+                idx as u64
+            }
+        }
+    }
+
+    /// Returns the live entry for `key`, or `None` if the key is stale
+    /// or was never issued.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        let (idx, generation) = split(key);
+        let e = self.entries.get(idx)?;
+        if e.generation != generation {
+            return None;
+        }
+        e.value.as_ref()
+    }
+
+    /// Mutable access to the live entry for `key`.
+    #[inline]
+    pub fn get_mut(&mut self, key: u64) -> Option<&mut T> {
+        let (idx, generation) = split(key);
+        let e = self.entries.get_mut(idx)?;
+        if e.generation != generation {
+            return None;
+        }
+        e.value.as_mut()
+    }
+
+    /// Removes and returns the entry for `key`. The slot is recycled
+    /// under a bumped generation, so `key` stops resolving.
+    pub fn remove(&mut self, key: u64) -> Option<T> {
+        let (idx, generation) = split(key);
+        let e = self.entries.get_mut(idx)?;
+        if e.generation != generation {
+            return None;
+        }
+        let value = e.value.take()?;
+        e.generation = e.generation.wrapping_add(1);
+        self.free.push(idx as u32);
+        self.len -= 1;
+        Some(value)
+    }
+
+    /// Drops every live entry and recycles all slots.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Slab::new();
+        let k = s.insert(7u32);
+        assert_eq!(s.get(k), Some(&7));
+        *s.get_mut(k).unwrap() = 8;
+        assert_eq!(s.remove(k), Some(8));
+        assert_eq!(s.get(k), None);
+        assert_eq!(s.remove(k), None);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn stale_keys_do_not_alias_reused_slots() {
+        let mut s = Slab::new();
+        let a = s.insert("a");
+        assert_eq!(s.remove(a), Some("a"));
+        let b = s.insert("b");
+        // Same slot, different generation.
+        assert_eq!(a & u32::MAX as u64, b & u32::MAX as u64);
+        assert_ne!(a, b);
+        assert_eq!(s.get(a), None);
+        assert_eq!(s.get_mut(a), None);
+        assert_eq!(s.get(b), Some(&"b"));
+    }
+
+    #[test]
+    fn len_tracks_live_entries() {
+        let mut s = Slab::with_capacity(4);
+        let keys: Vec<u64> = (0..10).map(|i| s.insert(i)).collect();
+        assert_eq!(s.len(), 10);
+        for k in &keys[..5] {
+            s.remove(*k);
+        }
+        assert_eq!(s.len(), 5);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    proptest! {
+        /// The slab agrees with a reference map under random workloads.
+        #[test]
+        fn prop_matches_reference_map(
+            ops in proptest::collection::vec((0u8..3, 0usize..16), 1..200),
+        ) {
+            let mut slab = Slab::new();
+            let mut live: Vec<(u64, usize)> = Vec::new();
+            let mut next_val = 0usize;
+            for &(op, pick) in &ops {
+                match op {
+                    0 => {
+                        let k = slab.insert(next_val);
+                        live.push((k, next_val));
+                        next_val += 1;
+                    }
+                    1 if !live.is_empty() => {
+                        let (k, v) = live.remove(pick % live.len());
+                        prop_assert_eq!(slab.remove(k), Some(v));
+                        prop_assert_eq!(slab.get(k), None);
+                    }
+                    _ if !live.is_empty() => {
+                        let (k, v) = live[pick % live.len()];
+                        prop_assert_eq!(slab.get(k), Some(&v));
+                    }
+                    _ => {}
+                }
+                prop_assert_eq!(slab.len(), live.len());
+            }
+        }
+    }
+}

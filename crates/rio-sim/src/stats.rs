@@ -8,7 +8,7 @@
 use crate::time::SimDuration;
 
 /// A monotonically increasing event counter.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct Counter {
     n: u64,
 }
@@ -41,7 +41,11 @@ impl Counter {
 }
 
 /// Streaming mean/min/max accumulator over `f64` samples.
-#[derive(Debug, Default, Clone)]
+///
+/// `PartialEq` compares the raw accumulator state; deterministic
+/// replays of the same simulation produce bit-identical samples, so
+/// equality is exact there.
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct MeanAccum {
     count: u64,
     sum: f64,
@@ -131,7 +135,7 @@ const MAX_EXP: usize = 40; // Covers up to ~2^40 ns ≈ 18 minutes.
 /// let p50 = h.quantile(0.50).as_micros_f64();
 /// assert!((45.0..=56.0).contains(&p50), "p50 was {p50}");
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,

@@ -4,7 +4,7 @@
 //! real bytes; raw block benchmarks use cheap tags, so a simulated
 //! multi-gigabyte run costs megabytes of host memory.
 
-use std::collections::HashMap;
+use rio_sim::FxHashMap;
 
 /// Contents of one 4 KB block.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -37,9 +37,13 @@ impl BlockImage {
 }
 
 /// A sparse persistent store of block images with write versioning.
+///
+/// Lives on the per-write hot path (every accepted block lands here
+/// once in the logical image and once on media), so the map uses the
+/// simulator's fast deterministic hasher.
 #[derive(Debug, Default, Clone)]
 pub struct BlockStore {
-    blocks: HashMap<u64, (u64, BlockImage)>,
+    blocks: FxHashMap<u64, (u64, BlockImage)>,
     next_version: u64,
 }
 

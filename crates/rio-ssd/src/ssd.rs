@@ -18,7 +18,6 @@
 //! * [`Ssd::crash`] keeps the media and PMR, loses the volatile cache
 //!   and all in-flight commands.
 
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use rio_sim::{MultiServer, SimDuration, SimRng, SimTime};
@@ -116,7 +115,12 @@ pub struct Ssd {
     /// What survives a crash.
     media: BlockStore,
     pmr: Pmr,
-    pending: BTreeMap<(SimTime, u64), PendingOp>,
+    /// Ops whose effects apply at completion time. Nothing consumes
+    /// this mid-run (effects are settled by [`Ssd::advance`] at run end
+    /// or crash), so submissions are O(1) appends and the list is
+    /// sorted lazily when `advance` runs — a `BTreeMap` here would pay
+    /// tree churn on every accepted command.
+    pending: Vec<((SimTime, u64), PendingOp)>,
     next_op: u64,
     stats: SsdStats,
 }
@@ -137,7 +141,7 @@ impl Ssd {
             logical: BlockStore::new(),
             media: BlockStore::new(),
             pmr,
-            pending: BTreeMap::new(),
+            pending: Vec::new(),
             next_op: 0,
             stats: SsdStats::default(),
             profile,
@@ -215,12 +219,15 @@ impl Ssd {
     pub fn advance(&mut self, now: SimTime) {
         // Process due ops in completion order, advancing the drain clock
         // alongside so FLUSH/drain interleavings resolve correctly.
-        loop {
-            let Some((&key, _)) = self.pending.range(..=(now, u64::MAX)).next() else {
-                break;
-            };
-            let op = self.pending.remove(&key).expect("key exists");
-            let (done_at, _) = key;
+        // Keys (completion, op id) are unique, so the unstable sort is
+        // deterministic.
+        self.pending.sort_unstable_by_key(|(k, _)| *k);
+        let due = self
+            .pending
+            .partition_point(|(k, _)| *k <= (now, u64::MAX));
+        let rest = self.pending.split_off(due);
+        let due_ops = std::mem::replace(&mut self.pending, rest);
+        for ((done_at, _), op) in due_ops {
             self.update_drain(done_at);
             match op {
                 PendingOp::DurableWrite { lba, images } => {
@@ -342,7 +349,7 @@ impl Ssd {
             cached_at: completion,
         });
         self.cache_sum += bytes;
-        self.pending.insert((completion, id), op);
+        self.pending.push(((completion, id), op));
         (id, completion)
     }
 
@@ -368,7 +375,7 @@ impl Ssd {
             self.stats.flush_time += dur;
             let id = self.op_id();
             self.pending
-                .insert((completion, id), PendingOp::Flush { submitted: now });
+                .push(((completion, id), PendingOp::Flush { submitted: now }));
             return (id, completion);
         }
         let start = cmd_done.max(self.flush_busy_until);
@@ -382,7 +389,7 @@ impl Ssd {
         self.stats.flush_time += dur;
         let id = self.op_id();
         self.pending
-            .insert((completion, id), PendingOp::Flush { submitted: now });
+            .push(((completion, id), PendingOp::Flush { submitted: now }));
         (id, completion)
     }
 
@@ -418,7 +425,7 @@ impl Ssd {
             .collect();
         let id = self.op_id();
         self.pending
-            .insert((completion, id), PendingOp::Stat(SsdOpKind::Read));
+            .push(((completion, id), PendingOp::Stat(SsdOpKind::Read)));
         (id, completion, data)
     }
 
@@ -448,7 +455,7 @@ impl Ssd {
         }
         let id = self.op_id();
         self.pending
-            .insert((cmd_done, id), PendingOp::Stat(SsdOpKind::Discard));
+            .push(((cmd_done, id), PendingOp::Stat(SsdOpKind::Discard)));
         (id, cmd_done)
     }
 

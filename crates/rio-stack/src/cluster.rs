@@ -17,16 +17,16 @@
 //! initiator: IRQ → fragment rejoin → in-order completer → deliver
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use rio_block::{Plug, StripedVolume};
 use rio_net::{Fabric, Nic};
 use rio_order::attr::{BlockRange, OrderingAttr, Seq, ServerId, StreamId};
 use rio_order::pmrlog::{PmrLog, SlotRef};
-use rio_order::scheduler::{split_attr, OrderQueue, OrderQueueConfig};
+use rio_order::scheduler::{split_attr_into, OrderQueue, OrderQueueConfig};
 use rio_order::sequencer::SubmitOpts;
 use rio_order::{InOrderCompleter, Sequencer, SubmissionGate};
-use rio_sim::{EventHeap, Histogram, SimRng, SimTime};
+use rio_sim::{EventHeap, Histogram, SimRng, SimTime, Slab};
 use rio_ssd::{BlockImage, Ssd};
 
 use crate::config::{ClusterConfig, OrderingMode};
@@ -110,6 +110,62 @@ struct GroupInfo {
     stage: Option<FsyncStage>,
 }
 
+/// Dense per-stream store of [`GroupInfo`].
+///
+/// Group sequence numbers are allocated contiguously per stream and
+/// both inserted (at submit) and removed (at in-order delivery) in
+/// ascending order, so the map `(stream, seq) -> GroupInfo` collapses
+/// into one ring per stream: `buf[0]` is group `head_seq`, lookups are
+/// index arithmetic, and no hashing happens on the event path.
+#[derive(Debug, Default)]
+struct GroupInfoRing {
+    /// Sequence number of `buf[0]` (meaningful only when non-empty).
+    head_seq: u32,
+    buf: VecDeque<GroupInfo>,
+}
+
+impl GroupInfoRing {
+    /// Inserts the info for `seq`; sequences arrive in order.
+    fn insert(&mut self, seq: u32, info: GroupInfo) {
+        if self.buf.is_empty() {
+            self.head_seq = seq;
+        } else {
+            debug_assert_eq!(seq, self.head_seq + self.buf.len() as u32);
+        }
+        self.buf.push_back(info);
+    }
+
+    /// Looks up the info for `seq`, if still live.
+    fn get(&self, seq: u32) -> Option<&GroupInfo> {
+        if self.buf.is_empty() || seq < self.head_seq {
+            return None;
+        }
+        self.buf.get((seq - self.head_seq) as usize)
+    }
+
+    /// Removes the info for `seq`. Delivery is in-order per stream, so
+    /// `seq` is always the ring head.
+    fn remove(&mut self, seq: u32) -> Option<GroupInfo> {
+        if self.buf.is_empty() || seq != self.head_seq {
+            return None;
+        }
+        self.head_seq += 1;
+        self.buf.pop_front()
+    }
+}
+
+/// Stage-mark slot order (mirrors `RunMetrics::stage_dispatch`).
+const STAGE_BY_INDEX: [FsyncStage; 3] = [FsyncStage::Data, FsyncStage::Meta, FsyncStage::Commit];
+
+/// Slot index of an fsync stage in `stage_marks` / `stage_dispatch`.
+fn stage_index(stage: FsyncStage) -> usize {
+    match stage {
+        FsyncStage::Data => 0,
+        FsyncStage::Meta => 1,
+        FsyncStage::Commit => 2,
+    }
+}
+
 /// Synchronous-mode thread stage (Linux NVMe-oF).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum SyncStage {
@@ -159,10 +215,13 @@ struct Target {
     gate: SubmissionGate,
     ssds: Vec<Ssd>,
     log: Option<PmrLog>,
-    /// Live PMR slots per stream, in append order.
-    slots: HashMap<u16, VecDeque<(u32, SlotRef)>>,
+    /// Live PMR slots per stream (indexed by stream id), append order.
+    slots: Vec<VecDeque<(u32, SlotRef)>>,
+    /// Whether a stream ever appended a PMR slot on this target; the
+    /// superblock head mark is only maintained for such streams.
+    slot_seen: Vec<bool>,
     /// Last release (head-seq) applied per stream.
-    applied_release: HashMap<u16, u32>,
+    applied_release: Vec<u32>,
 }
 
 impl Target {
@@ -171,9 +230,32 @@ impl Target {
     }
 }
 
+/// Copy-able discriminant of [`OrderingMode`], hoisted out of the
+/// per-event dispatch so handlers never touch (or clone) the config
+/// enum on the hot path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ModeKind {
+    Rio,
+    Orderless,
+    Horae,
+    Linux,
+}
+
+impl ModeKind {
+    fn of(mode: &OrderingMode) -> Self {
+        match mode {
+            OrderingMode::Rio { .. } => ModeKind::Rio,
+            OrderingMode::Orderless => ModeKind::Orderless,
+            OrderingMode::Horae => ModeKind::Horae,
+            OrderingMode::LinuxNvmf => ModeKind::Linux,
+        }
+    }
+}
+
 /// The simulated cluster.
 pub struct Cluster {
     cfg: ClusterConfig,
+    mode_kind: ModeKind,
     workload: Workload,
     events: EventHeap<Event>,
     fabric: Fabric,
@@ -186,11 +268,23 @@ pub struct Cluster {
     released_through: Vec<u32>,
     threads: Vec<ThreadState>,
     targets: Vec<Target>,
-    cmds: HashMap<u64, Cmd>,
-    next_cmd: u64,
-    units: HashMap<u64, Unit>,
-    next_unit: u64,
-    group_info: HashMap<(u16, u32), GroupInfo>,
+    /// In-flight commands, keyed by generational slab ids carried in
+    /// event payloads — no hashing on the event path.
+    cmds: Slab<Cmd>,
+    /// In-flight dispatch units, same keying scheme as `cmds`.
+    units: Slab<Unit>,
+    /// Per-stream group bookkeeping rings.
+    group_info: Vec<GroupInfoRing>,
+    /// Scratch buffer for gate releases (reused across events).
+    gate_scratch: Vec<(OrderingAttr, u64)>,
+    /// Scratch buffer for completer deliveries (reused across events).
+    delivered_scratch: Vec<Seq>,
+    /// Scratch buffers for the dispatch path (volume mapping, chunking,
+    /// slicing and splitting), reused across units.
+    map_scratch: Vec<rio_block::Extent>,
+    extent_scratch: Vec<rio_block::Extent>,
+    slice_scratch: Vec<BlockRange>,
+    frag_scratch: Vec<OrderingAttr>,
     /// Round-robin cursor for the scatter (non-pinned) QP policy.
     scatter_qp: u64,
     // Metrics.
@@ -199,6 +293,7 @@ pub struct Cluster {
     ops_done: u64,
     commands_sent: u64,
     ctrl_sent: u64,
+    events_processed: u64,
     group_latency: Histogram,
     op_latency: Histogram,
     stage_lat: [rio_sim::MeanAccum; 4],
@@ -246,35 +341,25 @@ impl Cluster {
                     .iter()
                     .map(|p| Ssd::new(p.clone(), root_rng.below(u64::MAX)))
                     .collect();
-                let log = if matches!(cfg.mode, OrderingMode::Rio { .. }) {
-                    let pmr_len = ssds[0].pmr().len();
+                let mut t = Target {
+                    cores: CoreSet::new(tc.cores),
+                    nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
+                    gate: SubmissionGate::with_streams(cfg.streams),
+                    ssds,
+                    log: None,
+                    slots: vec![VecDeque::new(); cfg.streams],
+                    slot_seen: vec![false; cfg.streams],
+                    applied_release: vec![0; cfg.streams],
+                };
+                if matches!(cfg.mode, OrderingMode::Rio { .. }) {
+                    let pmr_len = t.ssds[0].pmr().len();
                     let (log, writes) = PmrLog::format(pmr_len, cfg.streams);
-                    let mut t = Target {
-                        cores: CoreSet::new(tc.cores),
-                        nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
-                        gate: SubmissionGate::new(),
-                        ssds,
-                        log: None,
-                        slots: HashMap::new(),
-                        applied_release: HashMap::new(),
-                    };
                     for w in &writes {
                         t.apply_pmr_write(w);
                     }
                     t.log = Some(log);
-                    return t;
-                } else {
-                    None
-                };
-                Target {
-                    cores: CoreSet::new(tc.cores),
-                    nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
-                    gate: SubmissionGate::new(),
-                    ssds,
-                    log,
-                    slots: HashMap::new(),
-                    applied_release: HashMap::new(),
                 }
+                t
             })
             .collect();
 
@@ -316,9 +401,15 @@ impl Cluster {
             })
             .collect();
 
+        // Pre-size the hot structures from the config: the event heap
+        // and command/unit arenas track the global in-flight window.
+        let inflight_hint = (cfg.streams * cfg.max_inflight_per_stream * 2).max(64);
         Cluster {
             sequencer: Sequencer::new(cfg.streams, n_targets),
-            completer: InOrderCompleter::new(cfg.streams),
+            completer: InOrderCompleter::with_window(
+                cfg.streams,
+                cfg.max_inflight_per_stream * 2,
+            ),
             order_queues,
             released_through: vec![0; cfg.streams],
             init_cores: CoreSet::new(cfg.initiator_cores),
@@ -326,23 +417,29 @@ impl Cluster {
             volume,
             threads,
             targets,
-            cmds: HashMap::new(),
-            next_cmd: 0,
-            units: HashMap::new(),
-            next_unit: 0,
-            group_info: HashMap::new(),
+            cmds: Slab::with_capacity(inflight_hint),
+            units: Slab::with_capacity(inflight_hint),
+            group_info: (0..cfg.streams).map(|_| GroupInfoRing::default()).collect(),
+            gate_scratch: Vec::with_capacity(16),
+            delivered_scratch: Vec::with_capacity(16),
+            map_scratch: Vec::with_capacity(16),
+            extent_scratch: Vec::with_capacity(16),
+            slice_scratch: Vec::with_capacity(16),
+            frag_scratch: Vec::with_capacity(16),
             scatter_qp: 0,
             groups_done: 0,
             blocks_done: 0,
             ops_done: 0,
             commands_sent: 0,
             ctrl_sent: 0,
+            events_processed: 0,
             group_latency: Histogram::new(),
             op_latency: Histogram::new(),
             stage_lat: Default::default(),
             last_completion: SimTime::ZERO,
-            events: EventHeap::new(),
+            events: EventHeap::with_capacity(inflight_hint),
             fabric,
+            mode_kind: ModeKind::of(&cfg.mode),
             cfg,
             workload,
             stop_at: None,
@@ -358,6 +455,7 @@ impl Cluster {
                     break;
                 }
             }
+            self.events_processed += 1;
             self.handle(now, ev);
         }
         self.metrics()
@@ -374,15 +472,16 @@ impl Cluster {
     /// the virtual time reached (crash experiments).
     pub(crate) fn run_until(&mut self, deadline: SimTime) -> SimTime {
         let mut reached = SimTime::ZERO;
-        while let Some(t) = self.events.peek_time() {
-            if t > deadline {
-                return deadline;
-            }
-            let (now, ev) = self.events.pop().expect("peeked");
+        while let Some((now, ev)) = self.events.pop_if_at_or_before(deadline) {
+            self.events_processed += 1;
             self.handle(now, ev);
             reached = now;
         }
-        reached
+        if self.events.is_empty() {
+            reached
+        } else {
+            deadline
+        }
     }
 
     /// Builds the final metrics snapshot.
@@ -414,6 +513,7 @@ impl Cluster {
             ops_done: self.ops_done,
             gate_buffered,
             commands_sent: self.commands_sent,
+            events_processed: self.events_processed,
             span,
             group_latency: self.group_latency.clone(),
             op_latency: self.op_latency.clone(),
@@ -442,11 +542,11 @@ impl Cluster {
 
     fn on_resume(&mut self, now: SimTime, t: usize) {
         self.threads[t].parked = false;
-        match self.cfg.mode.clone() {
-            OrderingMode::Rio { .. } => self.submit_async_rio(now, t),
-            OrderingMode::Orderless => self.submit_async_orderless(now, t),
-            OrderingMode::Horae => self.submit_horae(now, t),
-            OrderingMode::LinuxNvmf => self.submit_linux(now, t),
+        match self.mode_kind {
+            ModeKind::Rio => self.submit_async_rio(now, t),
+            ModeKind::Orderless => self.submit_async_orderless(now, t),
+            ModeKind::Horae => self.submit_horae(now, t),
+            ModeKind::Linux => self.submit_linux(now, t),
         }
     }
 
@@ -491,11 +591,7 @@ impl Cluster {
 
     /// Records the dispatch mark of an fsync stage.
     fn mark_stage(&mut self, t: usize, stage: FsyncStage, at: SimTime) {
-        let idx = match stage {
-            FsyncStage::Data => 0,
-            FsyncStage::Meta => 1,
-            FsyncStage::Commit => 2,
-        };
+        let idx = stage_index(stage);
         if self.threads[t].stage_marks[idx].is_none() {
             self.threads[t].stage_marks[idx] = Some(at);
         }
@@ -559,8 +655,8 @@ impl Cluster {
                         },
                     );
                     if last {
-                        self.group_info.insert(
-                            (stream.0, attr.seq_start.0),
+                        self.group_info[stream.0 as usize].insert(
+                            attr.seq_start.0,
                             GroupInfo {
                                 blocks,
                                 submitted: cpu,
@@ -620,40 +716,30 @@ impl Cluster {
         unit: rio_order::DispatchUnit,
     ) -> SimTime {
         let attr = unit.attr;
-        let extents = self.chunked_extents(attr.range);
+        let mut extents = std::mem::take(&mut self.extent_scratch);
+        extents.clear();
+        self.chunked_extents_into(attr.range, &mut extents);
         // Build logical slices for the splitter, then graft physical
         // ranges onto the fragments.
-        let slices: Vec<BlockRange> = {
-            let mut out = Vec::with_capacity(extents.len());
-            let mut off = 0u64;
-            for e in &extents {
-                out.push(BlockRange::new(attr.range.lba + off, e.range.blocks));
-                off += e.range.blocks as u64;
-            }
-            out
-        };
-        let mut frags = split_attr(&attr, &slices);
+        let mut slices = std::mem::take(&mut self.slice_scratch);
+        slices.clear();
+        let mut off = 0u64;
+        for e in &extents {
+            slices.push(BlockRange::new(attr.range.lba + off, e.range.blocks));
+            off += e.range.blocks as u64;
+        }
+        let mut frags = std::mem::take(&mut self.frag_scratch);
+        frags.clear();
+        split_attr_into(&attr, &slices, &mut frags);
         let blocks_total: u32 = attr.range.blocks;
-        let unit_id = self.next_unit;
-        self.next_unit += 1;
-        self.units.insert(
-            unit_id,
-            Unit {
-                parts: unit.parts.iter().map(|p| p.attr).collect(),
-                plain_groups: 0,
-                blocks: blocks_total,
-                fragments_total: frags.len(),
-                fragments_done: 0,
-                submitted: cpu,
-            },
-        );
-        // Stage dispatch marks for the Fig. 14 breakdown.
-        let stage_seqs: Vec<(u16, u32)> = unit
-            .parts
-            .iter()
-            .filter(|p| p.attr.boundary)
-            .map(|p| (p.attr.stream.0, p.attr.seq_start.0))
-            .collect();
+        let unit_id = self.units.insert(Unit {
+            parts: unit.parts.iter().map(|p| p.attr).collect(),
+            plain_groups: 0,
+            blocks: blocks_total,
+            fragments_total: frags.len(),
+            fragments_done: 0,
+            submitted: cpu,
+        });
         for (frag, ext) in frags.iter_mut().zip(extents.iter()) {
             frag.range = ext.range;
             frag.ssd = ext.ssd as u8;
@@ -680,11 +766,24 @@ impl Cluster {
                 },
             );
         }
-        for key in stage_seqs {
-            if let Some(info) = self.group_info.get(&key) {
+        self.extent_scratch = extents;
+        self.slice_scratch = slices;
+        self.frag_scratch = frags;
+        // Stage dispatch marks for the Fig. 14 breakdown. The same
+        // `cpu` instant applies to every stage, so marking order does
+        // not matter.
+        let mut stages_hit = [false; 3];
+        for p in unit.parts.iter().filter(|p| p.attr.boundary) {
+            if let Some(info) = self.group_info[p.attr.stream.0 as usize].get(p.attr.seq_start.0)
+            {
                 if let Some(stage) = info.stage {
-                    self.mark_stage(t, stage, cpu);
+                    stages_hit[stage_index(stage)] = true;
                 }
+            }
+        }
+        for (i, hit) in stages_hit.into_iter().enumerate() {
+            if hit {
+                self.mark_stage(t, STAGE_BY_INDEX[i], cpu);
             }
         }
         cpu
@@ -772,21 +871,18 @@ impl Cluster {
         groups: u64,
         flush_embedded: bool,
     ) -> SimTime {
-        let extents = self.chunked_extents(range);
-        let unit_id = self.next_unit;
-        self.next_unit += 1;
-        self.units.insert(
-            unit_id,
-            Unit {
-                parts: Vec::new(),
-                plain_groups: groups,
-                blocks: range.blocks,
-                fragments_total: extents.len(),
-                fragments_done: 0,
-                submitted: cpu,
-            },
-        );
-        for ext in extents {
+        let mut extents = std::mem::take(&mut self.extent_scratch);
+        extents.clear();
+        self.chunked_extents_into(range, &mut extents);
+        let unit_id = self.units.insert(Unit {
+            parts: Vec::new(),
+            plain_groups: groups,
+            blocks: range.blocks,
+            fragments_total: extents.len(),
+            fragments_done: 0,
+            submitted: cpu,
+        });
+        for ext in &extents {
             cpu = self
                 .init_cores
                 .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
@@ -809,6 +905,7 @@ impl Cluster {
                 },
             );
         }
+        self.extent_scratch = extents;
         cpu
     }
 
@@ -970,10 +1067,14 @@ impl Cluster {
     }
 
     /// Splits a logical range into per-device extents capped at the
-    /// device transfer limit and the PMR record length field.
-    fn chunked_extents(&self, range: BlockRange) -> Vec<rio_block::Extent> {
-        let mut out = Vec::new();
-        for e in self.volume.map(range) {
+    /// device transfer limit and the PMR record length field, appending
+    /// to `out`. Uses the internal map scratch buffer, so callers pass
+    /// a buffer they took out of `self` first.
+    fn chunked_extents_into(&mut self, range: BlockRange, out: &mut Vec<rio_block::Extent>) {
+        let mut mapped = std::mem::take(&mut self.map_scratch);
+        mapped.clear();
+        self.volume.map_into(range, &mut mapped);
+        for e in &mapped {
             let prof = self.targets[e.server.0 as usize].ssds[e.ssd].profile();
             let cap = prof.max_transfer_blocks.min(255).max(1);
             let mut remaining = e.range.blocks;
@@ -992,31 +1093,29 @@ impl Cluster {
                 remaining -= take;
             }
         }
-        out
+        self.map_scratch = mapped;
     }
 
     /// Sends one command over the fabric and schedules its arrival.
     fn send_cmd(&mut self, now: SimTime, cmd: Cmd) {
-        let id = self.next_cmd;
-        self.next_cmd += 1;
         self.commands_sent += 1;
         let qp = self.target_qp(cmd.target, cmd.qp);
         // Command capsule: 64 B SQE + transport headers.
         let delivery = self.fabric.send(&mut self.init_nic, qp, now, 96);
-        self.cmds.insert(id, cmd);
+        let id = self.cmds.insert(cmd);
         self.events.push(delivery, Event::CmdArrive(id));
     }
 
     fn on_cmd_arrive(&mut self, now: SimTime, id: u64) {
-        let (target_idx, qp, kind, bytes, is_rio, thread) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
+        let (target_idx, qp, kind, bytes, attr, ssd_idx) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
                 cmd.qp,
                 cmd.kind,
                 cmd.phys.blocks as u64 * 4096,
-                cmd.attr.is_some(),
-                cmd.thread,
+                cmd.attr,
+                cmd.ssd,
             )
         };
         let core = qp;
@@ -1026,7 +1125,6 @@ impl Cluster {
 
         if kind == CmdKind::Flush {
             // Explicit FLUSH command (Linux mode): straight to the SSD.
-            let ssd_idx = self.cmds[&id].ssd;
             let submit =
                 self.targets[target_idx]
                     .cores
@@ -1044,19 +1142,23 @@ impl Cluster {
             recv_done,
             bytes,
         );
-        self.cmds.get_mut(&id).expect("cmd exists").data_ready = data_ready;
+        self.cmds.get_mut(id).expect("cmd exists").data_ready = data_ready;
 
-        if is_rio {
+        if let Some(attr) = attr {
             // Apply the release piggyback for this stream.
-            let stream = self.cmds[&id].attr.expect("rio cmd").stream;
+            let stream = attr.stream;
             self.apply_release(target_idx, stream, self.released_through[stream.0 as usize]);
             // The in-order submission gate may buffer the command.
-            let attr = self.cmds[&id].attr.expect("rio cmd");
-            let released = self.targets[target_idx].gate.arrive(attr, id);
+            let mut released = std::mem::take(&mut self.gate_scratch);
+            released.clear();
+            self.targets[target_idx]
+                .gate
+                .arrive_into(attr, id, &mut released);
             let mut cpu = recv_done;
-            for (r_attr, r_id) in released {
+            for &(r_attr, r_id) in &released {
                 cpu = self.rio_release(cpu, target_idx, r_attr, r_id);
             }
+            self.gate_scratch = released;
         } else {
             // Baselines submit once the driver CPU work and the data
             // pull both finish (a scheduled event keeps the device
@@ -1068,13 +1170,12 @@ impl Cluster {
             let start = submit.max(data_ready);
             self.events.push(start, Event::SsdSubmit(id));
         }
-        let _ = thread;
     }
 
     /// Submits a command's write to its SSD at the event's instant.
     fn on_ssd_submit(&mut self, now: SimTime, id: u64) {
         let (target_idx, ssd_idx, lba, blocks, tag) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
+            let cmd = self.cmds.get(id).expect("cmd exists");
             (cmd.target, cmd.ssd, cmd.phys.lba, cmd.phys.blocks, cmd.tag)
         };
         let images = vec![BlockImage::Tag(tag); blocks as usize];
@@ -1086,7 +1187,7 @@ impl Cluster {
     /// Submits a command's embedded FLUSH at the event's instant.
     fn on_ssd_flush_submit(&mut self, now: SimTime, id: u64) {
         let (target_idx, ssd_idx) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
+            let cmd = self.cmds.get(id).expect("cmd exists");
             (cmd.target, cmd.ssd)
         };
         let (_op, done) = self.targets[target_idx].ssds[ssd_idx].submit_flush(now);
@@ -1101,7 +1202,9 @@ impl Cluster {
         attr: OrderingAttr,
         id: u64,
     ) -> SimTime {
-        let core = self.cmds[&id].qp;
+        let cmd = self.cmds.get_mut(id).expect("cmd exists");
+        let core = cmd.qp;
+        let data_ready = cmd.data_ready;
         // Persist the ordering attribute before the data (step ⑤).
         let rec = attr.to_pmr_record(0);
         let target = &mut self.targets[target_idx];
@@ -1112,12 +1215,9 @@ impl Cluster {
         target.ssds[0]
             .pmr_mut()
             .mmio_write(write.offset, &write.bytes);
-        target
-            .slots
-            .entry(attr.stream.0)
-            .or_default()
-            .push_back((attr.seq_end.0, slot));
-        self.cmds.get_mut(&id).expect("cmd").slot = Some(slot);
+        target.slots[attr.stream.0 as usize].push_back((attr.seq_end.0, slot));
+        target.slot_seen[attr.stream.0 as usize] = true;
+        cmd.slot = Some(slot);
         let cpu = self.targets[target_idx]
             .cores
             .run_on(core, cpu, self.cfg.cpu.pmr_append);
@@ -1126,7 +1226,7 @@ impl Cluster {
         let submit = self.targets[target_idx]
             .cores
             .run_on(core, cpu, self.cfg.cpu.ssd_submit);
-        let start = submit.max(self.cmds[&id].data_ready);
+        let start = submit.max(data_ready);
         self.events.push(start, Event::SsdSubmit(id));
         cpu
     }
@@ -1135,12 +1235,15 @@ impl Cluster {
     /// PMR slots and advances the superblock head mark.
     fn apply_release(&mut self, target_idx: usize, stream: StreamId, through: u32) {
         let target = &mut self.targets[target_idx];
-        let applied = target.applied_release.entry(stream.0).or_insert(0);
+        let applied = &mut target.applied_release[stream.0 as usize];
         if through <= *applied {
             return;
         }
         *applied = through;
-        if let Some(q) = target.slots.get_mut(&stream.0) {
+        // Only streams that ever appended a slot here carry a head mark
+        // in this target's PMR superblock.
+        if target.slot_seen[stream.0 as usize] {
+            let q = &mut target.slots[stream.0 as usize];
             let log = target.log.as_mut().expect("rio target");
             while let Some(&(seq_end, slot)) = q.front() {
                 if seq_end <= through {
@@ -1156,14 +1259,15 @@ impl Cluster {
     }
 
     fn on_ssd_write_done(&mut self, now: SimTime, id: u64) {
-        let (target_idx, core, flush_embedded, is_rio, plp) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
+        let (target_idx, core, flush_embedded, is_rio, slot_opt, plp) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
             let plp = self.targets[cmd.target].ssds[cmd.ssd].profile().plp;
             (
                 cmd.target,
                 cmd.qp,
                 cmd.flush_embedded,
                 cmd.attr.is_some(),
+                cmd.slot,
                 plp,
             )
         };
@@ -1179,7 +1283,7 @@ impl Cluster {
         if is_rio && plp {
             // PLP drives: data is durable at completion; toggle the
             // persist bit now (step ⑦).
-            if let Some(slot) = self.cmds[&id].slot {
+            if let Some(slot) = slot_opt {
                 let target = &mut self.targets[target_idx];
                 let w = target.log.as_ref().expect("rio target").mark_persist(slot);
                 target.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
@@ -1192,9 +1296,9 @@ impl Cluster {
     }
 
     fn on_ssd_flush_done(&mut self, now: SimTime, id: u64) {
-        let (target_idx, core, is_rio) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.attr.is_some())
+        let (target_idx, core, is_rio, slot_opt) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
+            (cmd.target, cmd.qp, cmd.attr.is_some(), cmd.slot)
         };
         let mut cpu = self.targets[target_idx]
             .cores
@@ -1202,7 +1306,7 @@ impl Cluster {
         if is_rio {
             // Non-PLP durability: only the FLUSH carrier's persist bit
             // is toggled; it vouches for everything before it (§4.3.2).
-            if let Some(slot) = self.cmds[&id].slot {
+            if let Some(slot) = slot_opt {
                 let target = &mut self.targets[target_idx];
                 let w = target.log.as_ref().expect("rio target").mark_persist(slot);
                 target.ssds[0].pmr_mut().mmio_write(w.offset, &w.bytes);
@@ -1217,7 +1321,7 @@ impl Cluster {
     /// Sends the completion capsule back to the initiator.
     fn send_completion(&mut self, now: SimTime, id: u64) {
         let (target_idx, qp) = {
-            let cmd = self.cmds.get(&id).expect("cmd exists");
+            let cmd = self.cmds.get(id).expect("cmd exists");
             (cmd.target, cmd.qp)
         };
         let delivery = self
@@ -1229,7 +1333,7 @@ impl Cluster {
     // ---- completion side ---------------------------------------------------
 
     fn on_cmd_complete(&mut self, now: SimTime, id: u64) {
-        let cmd = self.cmds.remove(&id).expect("cmd exists");
+        let cmd = self.cmds.remove(id).expect("cmd exists");
         let t = cmd.thread;
         let cpu = self
             .init_cores
@@ -1243,26 +1347,26 @@ impl Cluster {
 
         let unit_id = cmd.unit;
         let finished = {
-            let unit = self.units.get_mut(&unit_id).expect("unit exists");
+            let unit = self.units.get_mut(unit_id).expect("unit exists");
             unit.fragments_done += 1;
             unit.fragments_done == unit.fragments_total
         };
         if !finished {
             return;
         }
-        let unit = self.units.remove(&unit_id).expect("unit exists");
+        let unit = self.units.remove(unit_id).expect("unit exists");
 
         if cmd.attr.is_some() {
             // Rio: unroll the unit's parts into the in-order completer.
-            let mut delivered = Vec::new();
+            let mut delivered = std::mem::take(&mut self.delivered_scratch);
+            delivered.clear();
             for part in &unit.parts {
-                delivered.extend(self.completer.on_done(part));
+                self.completer.on_done_into(part, &mut delivered);
             }
             let stream = unit.parts[0].stream;
-            for seq in delivered {
-                let info = self
-                    .group_info
-                    .remove(&(stream.0, seq.0))
+            for &seq in &delivered {
+                let info = self.group_info[stream.0 as usize]
+                    .remove(seq.0)
                     .expect("delivered group was submitted");
                 self.groups_done += 1;
                 self.blocks_done += info.blocks as u64;
@@ -1274,9 +1378,10 @@ impl Cluster {
                 self.threads[owner].inflight -= 1;
                 self.maybe_wake(cpu, owner);
             }
+            self.delivered_scratch = delivered;
         } else {
-            match self.cfg.mode {
-                OrderingMode::LinuxNvmf => {
+            match self.mode_kind {
+                ModeKind::Linux => {
                     // Write leg finished; issue the FLUSH leg.
                     self.groups_done += unit.plain_groups;
                     self.blocks_done += unit.blocks as u64;

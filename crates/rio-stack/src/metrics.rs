@@ -3,7 +3,12 @@
 use rio_sim::{Histogram, MeanAccum, SimDuration, SimTime};
 
 /// Aggregated results of one simulation run.
-#[derive(Debug, Clone)]
+///
+/// Simulations are pure functions of `(configuration, seed)`, so two
+/// runs of the same experiment must produce metrics that compare equal
+/// field for field — the determinism snapshot tests rely on the
+/// `PartialEq` impl here.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunMetrics {
     /// 4 KB blocks written and acknowledged.
     pub blocks_done: u64,
@@ -17,6 +22,9 @@ pub struct RunMetrics {
     pub gate_buffered: u64,
     /// NVMe-oF commands sent (merging shrinks this).
     pub commands_sent: u64,
+    /// Simulation events the engine dispatched during the run — the
+    /// denominator of the engine-throughput (events/sec) harness.
+    pub events_processed: u64,
     /// Wall-clock span of the run (first submit to last completion).
     pub span: SimDuration,
     /// Per-group completion latency.
@@ -93,6 +101,7 @@ mod tests {
             ops_done: blocks,
             gate_buffered: 0,
             commands_sent: blocks,
+            events_processed: blocks,
             span: SimDuration::from_millis(span_ms),
             group_latency: Histogram::new(),
             op_latency: Histogram::new(),

@@ -67,6 +67,38 @@ fn whole_cluster_runs_are_deterministic() {
 }
 
 #[test]
+fn run_metrics_snapshot_identical_across_all_modes() {
+    // The engine-internals safety rail: for every ordering engine, the
+    // same `(config, seed)` must reproduce the *entire* `RunMetrics` —
+    // every counter, histogram bucket and utilisation figure — so slab,
+    // ring or heap refactors cannot silently change replay behavior.
+    for mode in [
+        OrderingMode::Orderless,
+        OrderingMode::LinuxNvmf,
+        OrderingMode::Horae,
+        OrderingMode::Rio { merge: true },
+    ] {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let run = || {
+            Cluster::new(small(mode.clone(), 3), Workload::random_4k(3, groups)).run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "{} replay diverged", mode.label());
+        assert!(a.events_processed > 0, "{} processed no events", mode.label());
+        assert_eq!(
+            a.events_processed,
+            b.events_processed,
+            "{} event count diverged",
+            mode.label()
+        );
+    }
+}
+
+#[test]
 fn crash_recovery_restores_a_prefix_on_every_stream() {
     let mut cfg = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 6);
     cfg.initiator_cores = 8;
