@@ -21,13 +21,15 @@ use std::time::Instant;
 
 use rio_bench::all_modes;
 use rio_ssd::SsdProfile;
-use rio_stack::{Cluster, ClusterConfig, OrderingMode, Workload};
+use rio_stack::{Cluster, ClusterConfig, FabricConfig, OrderingMode, Workload};
 
 /// One measured figure cell.
 struct Cell {
     figure: &'static str,
     mode: &'static str,
     threads: usize,
+    loss: f64,
+    paths: usize,
     wall_secs: f64,
     events: u64,
     sim_span_secs: f64,
@@ -51,6 +53,25 @@ fn run_cell(
     groups: u64,
 ) -> Cell {
     let cfg = config(part, mode.clone(), threads);
+    measure(figure, mode, threads, 0.0, 1, cfg, groups)
+}
+
+fn run_lossy_cell(mode: OrderingMode, loss: f64, paths: usize, groups: u64) -> Cell {
+    let mut cfg = ClusterConfig::single_ssd(mode.clone(), SsdProfile::optane905p(), 4);
+    cfg.max_inflight_per_stream = 64;
+    cfg.net = FabricConfig::lossy(loss, paths);
+    measure("lossy_fabric", mode, 4, loss, paths, cfg, groups)
+}
+
+fn measure(
+    figure: &'static str,
+    mode: OrderingMode,
+    threads: usize,
+    loss: f64,
+    paths: usize,
+    cfg: ClusterConfig,
+    groups: u64,
+) -> Cell {
     let wl = Workload::random_4k(threads, groups);
     let started = Instant::now();
     let m = Cluster::new(cfg, wl).run();
@@ -59,6 +80,8 @@ fn run_cell(
         figure,
         mode: mode.label(),
         threads,
+        loss,
+        paths,
         wall_secs,
         events: m.events_processed,
         sim_span_secs: m.span.as_secs_f64(),
@@ -89,6 +112,23 @@ fn sweep(smoke: bool) -> Vec<Cell> {
             }
         }
     }
+    // Lossy-fabric cells: the fig_lossy_fabric sweep shape, so the
+    // trajectory also tracks how fast the engine runs retransmission
+    // and multi-path events.
+    let lossy_grid: &[(f64, usize)] = if smoke {
+        &[(1e-3, 2)]
+    } else {
+        &[(1e-3, 1), (1e-3, 4), (1e-2, 4)]
+    };
+    for &(loss, paths) in lossy_grid {
+        for mode in all_modes() {
+            let groups = match mode {
+                OrderingMode::LinuxNvmf => 600 / scale,
+                _ => 30_000 / scale,
+            };
+            cells.push(run_lossy_cell(mode, loss, paths, groups));
+        }
+    }
     cells
 }
 
@@ -103,7 +143,7 @@ fn render_json(cells: &[Cell], smoke: bool) -> String {
     let total_events: u64 = cells.iter().map(|c| c.events).sum();
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 1,");
+    let _ = writeln!(out, "  \"schema\": 2,");
     let _ = writeln!(out, "  \"harness\": \"sim_engine\",");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
     let _ = writeln!(out, "  \"total_wall_secs\": {total_wall:.6},");
@@ -118,11 +158,14 @@ fn render_json(cells: &[Cell], smoke: bool) -> String {
         let _ = write!(
             out,
             "    {{\"figure\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"loss\": {}, \"paths\": {}, \
              \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
              \"sim_span_secs\": {:.6}, \"blocks_done\": {}}}",
             json_escape_free(c.figure),
             json_escape_free(c.mode),
             c.threads,
+            c.loss,
+            c.paths,
             c.wall_secs,
             c.events,
             c.events as f64 / c.wall_secs.max(1e-12),

@@ -40,6 +40,7 @@ fn main() {
                 },
             ],
             fabric: rio_net::FabricProfile::connectx6(),
+            net: Default::default(),
             cpu: Default::default(),
             streams: 36,
             qps_per_target: 36,

@@ -1,9 +1,13 @@
-//! An RDMA fabric model with the three properties Rio builds on.
+//! An RDMA fabric model with the four properties Rio builds on.
 //!
 //! 1. **Per-QP in-order delivery** — the reliable connected (RC)
 //!    transport delivers SEND operations on one queue pair in order;
 //!    across queue pairs there is no ordering (scheduler Principle 2
-//!    pins a stream to one QP to exploit exactly this).
+//!    pins a stream to one QP to exploit exactly this). Go-back-N
+//!    recovery weakens this under loss: a message stuck in a
+//!    retransmission timeout can be overtaken by later traffic, which
+//!    is exactly the reordering Rio's target-side ordering attributes
+//!    absorb.
 //! 2. **One-sided vs two-sided cost asymmetry** — RDMA READ/WRITE
 //!    bypass the remote CPU; SEND/RECV consume it. The model returns
 //!    timing; the caller charges CPU where the paper says it burns
@@ -11,10 +15,17 @@
 //! 3. **Finite link bandwidth with serialization** — a 200 Gbps link
 //!    with per-NIC egress queuing, so large transfers and congestion
 //!    shape completion times.
+//! 4. **Packetized, lossy, multi-path transport** — messages segment
+//!    into MTU packets, each packet samples a deterministic drop, and
+//!    every NIC can spread queue pairs over asymmetric paths (distinct
+//!    latency/bandwidth/jitter) with optional migration.
 //!
 //! Like the SSD model, the fabric is passive: operations take `now` and
-//! return delivery instants.
+//! return delivery instants — or, for the event-driven burst APIs, a
+//! [`fabric::XferStep::Dropped`] resumption point the caller schedules.
+
+#![deny(missing_docs)]
 
 pub mod fabric;
 
-pub use fabric::{Fabric, FabricProfile, Nic, NicStats};
+pub use fabric::{Fabric, FabricProfile, Nic, NicStats, PathProfile, PathStats, XferStep};

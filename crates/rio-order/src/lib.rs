@@ -27,6 +27,8 @@
 //! cluster to reproduce the paper's performance results; file systems
 //! (`rio-fs`) build journaling on top of the ordered block abstraction.
 
+#![deny(missing_docs)]
+
 pub mod attr;
 pub mod completion;
 pub mod gate;

@@ -41,6 +41,12 @@ enum Event {
     Resume(usize),
     /// A command SEND was delivered at its target.
     CmdArrive(u64),
+    /// A command capsule's go-back-N timeout fired; resend the window.
+    CmdResend(u64),
+    /// A command's data pull timeout fired; resend the window.
+    DataResend(u64),
+    /// A command's completion capsule timeout fired; resend the window.
+    CompResend(u64),
     /// A command is ready for SSD submission (gate passed + data in).
     SsdSubmit(u64),
     /// A command's embedded FLUSH may be submitted.
@@ -56,6 +62,11 @@ enum Event {
     /// A Horae control acknowledgement reached the initiator.
     CtrlAck { thread: usize },
 }
+
+/// NVMe-oF command capsule size on the wire (64 B SQE + headers).
+const CMD_CAPSULE_BYTES: u64 = 96;
+/// Completion capsule size on the wire.
+const COMPLETION_BYTES: u64 = 32;
 
 /// Command kind.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +91,18 @@ struct Cmd {
     flush_embedded: bool,
     /// Initiator-side unit this command belongs to.
     unit: u64,
-    /// When the pulled data is in target memory.
+    /// When the pulled data is in target memory (`FAR_FUTURE` until the
+    /// pull — including any retransmissions — completes).
     data_ready: SimTime,
+    /// When the target driver finished its CPU work and, for Rio, the
+    /// gate released the command (`FAR_FUTURE` until then). The SSD
+    /// submission fires once both this and `data_ready` are known.
+    driver_ready: SimTime,
+    /// Go-back-N bookkeeping for the leg currently on the wire
+    /// (capsule → data pull → completion run strictly in sequence):
+    /// packets still undelivered, and the leg's total message size.
+    retx_pkts: u32,
+    retx_bytes: u64,
     /// PMR log slot holding this command's ordering record.
     slot: Option<SlotRef>,
 }
@@ -317,7 +338,10 @@ impl Cluster {
         );
         assert!(!cfg.targets.is_empty(), "need at least one target");
         let mut root_rng = SimRng::seed_from_u64(cfg.seed);
-        let fabric = Fabric::new(cfg.fabric.clone(), root_rng.below(u64::MAX));
+        // The effective wire profile: base timing plus the transport
+        // behavior (segmentation, loss, paths) from `cfg.net`.
+        let wire = cfg.net.apply(cfg.fabric.clone());
+        let fabric = Fabric::new(wire.clone(), root_rng.below(u64::MAX));
 
         // Volume: stripe across every SSD of every target.
         let mut legs = Vec::new();
@@ -343,7 +367,7 @@ impl Cluster {
                     .collect();
                 let mut t = Target {
                     cores: CoreSet::new(tc.cores),
-                    nic: Nic::new(cfg.qps_per_target, cfg.fabric.bandwidth),
+                    nic: Nic::for_profile(cfg.qps_per_target, &wire),
                     gate: SubmissionGate::with_streams(cfg.streams),
                     ssds,
                     log: None,
@@ -413,7 +437,7 @@ impl Cluster {
             order_queues,
             released_through: vec![0; cfg.streams],
             init_cores: CoreSet::new(cfg.initiator_cores),
-            init_nic: Nic::new(n_targets * cfg.qps_per_target, cfg.fabric.bandwidth),
+            init_nic: Nic::for_profile(n_targets * cfg.qps_per_target, &wire),
             volume,
             threads,
             targets,
@@ -507,6 +531,11 @@ impl Cluster {
             .iter()
             .map(|t| t.gate.total_buffered_events())
             .sum();
+        let mut net = crate::metrics::NetMetrics::default();
+        net.absorb(&self.init_nic);
+        for t in &self.targets {
+            net.absorb(&t.nic);
+        }
         RunMetrics {
             blocks_done: self.blocks_done,
             groups_done: self.groups_done,
@@ -520,6 +549,7 @@ impl Cluster {
             stage_dispatch: self.stage_lat.clone(),
             initiator_util: self.init_cores.utilization(span),
             target_util,
+            net,
             finished_at: self.last_completion,
         }
     }
@@ -528,6 +558,9 @@ impl Cluster {
         match ev {
             Event::Resume(t) => self.on_resume(now, t),
             Event::CmdArrive(c) => self.on_cmd_arrive(now, c),
+            Event::CmdResend(c) => self.on_cmd_resend(now, c),
+            Event::DataResend(c) => self.on_data_resend(now, c),
+            Event::CompResend(c) => self.on_comp_resend(now, c),
             Event::SsdSubmit(c) => self.on_ssd_submit(now, c),
             Event::SsdFlushSubmit(c) => self.on_ssd_flush_submit(now, c),
             Event::SsdWriteDone(c) => self.on_ssd_write_done(now, c),
@@ -762,6 +795,9 @@ impl Cluster {
                     flush_embedded: frag.flush,
                     unit: unit_id,
                     data_ready: SimTime::FAR_FUTURE,
+                    driver_ready: SimTime::FAR_FUTURE,
+                    retx_pkts: 0,
+                    retx_bytes: 0,
                     slot: None,
                 },
             );
@@ -901,6 +937,9 @@ impl Cluster {
                     flush_embedded,
                     unit: unit_id,
                     data_ready: SimTime::FAR_FUTURE,
+                    driver_ready: SimTime::FAR_FUTURE,
+                    retx_pkts: 0,
+                    retx_bytes: 0,
                     slot: None,
                 },
             );
@@ -1096,14 +1135,118 @@ impl Cluster {
         self.map_scratch = mapped;
     }
 
-    /// Sends one command over the fabric and schedules its arrival.
+    /// Applies one fabric transfer step to command `id`: a delivery
+    /// schedules `done(id)` at the arrival instant; a drop parks the
+    /// command's go-back-N window and schedules `retry(id)` at the
+    /// recovery timeout.
+    fn schedule_xfer(
+        &mut self,
+        id: u64,
+        bytes: u64,
+        step: rio_net::XferStep,
+        done: fn(u64) -> Event,
+        retry: fn(u64) -> Event,
+    ) {
+        match step {
+            rio_net::XferStep::Delivered { at } => self.events.push(at, done(id)),
+            rio_net::XferStep::Dropped {
+                resume_at,
+                pkts_left,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, retry),
+        }
+    }
+
+    /// Records a dropped leg's remaining window on the command and
+    /// schedules its resend event.
+    fn park_retx(
+        &mut self,
+        id: u64,
+        bytes: u64,
+        resume_at: SimTime,
+        pkts_left: u32,
+        retry: fn(u64) -> Event,
+    ) {
+        let cmd = self.cmds.get_mut(id).expect("cmd exists");
+        cmd.retx_pkts = pkts_left;
+        cmd.retx_bytes = bytes;
+        self.events.push(resume_at, retry(id));
+    }
+
+    /// Sends one command capsule over the fabric: either it arrives at
+    /// the target (`CmdArrive`) or a packet drops and the go-back-N
+    /// timeout is scheduled as a `CmdResend` event.
     fn send_cmd(&mut self, now: SimTime, cmd: Cmd) {
         self.commands_sent += 1;
         let qp = self.target_qp(cmd.target, cmd.qp);
-        // Command capsule: 64 B SQE + transport headers.
-        let delivery = self.fabric.send(&mut self.init_nic, qp, now, 96);
         let id = self.cmds.insert(cmd);
-        self.events.push(delivery, Event::CmdArrive(id));
+        let step = self
+            .fabric
+            .send_burst(&mut self.init_nic, qp, now, CMD_CAPSULE_BYTES);
+        self.schedule_xfer(id, CMD_CAPSULE_BYTES, step, Event::CmdArrive, Event::CmdResend);
+    }
+
+    /// A command capsule's retransmission timeout fired: resend the
+    /// window from the lost packet.
+    fn on_cmd_resend(&mut self, now: SimTime, id: u64) {
+        let (target, qp, pkts, bytes) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+        };
+        let qp = self.target_qp(target, qp);
+        let step = self
+            .fabric
+            .resume_send(&mut self.init_nic, qp, now, pkts, bytes);
+        self.schedule_xfer(id, bytes, step, Event::CmdArrive, Event::CmdResend);
+    }
+
+    /// A data pull's retransmission timeout fired: resend the window.
+    fn on_data_resend(&mut self, now: SimTime, id: u64) {
+        let (target, qp, pkts, bytes) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+        };
+        let init_qp = self.target_qp(target, qp);
+        match self.fabric.resume_pull(
+            &mut self.targets[target].nic,
+            &mut self.init_nic,
+            init_qp,
+            now,
+            pkts,
+            bytes,
+        ) {
+            rio_net::XferStep::Delivered { at } => {
+                self.cmds.get_mut(id).expect("cmd exists").data_ready = at;
+                self.try_ssd_submit(id);
+            }
+            rio_net::XferStep::Dropped {
+                resume_at,
+                pkts_left,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, Event::DataResend),
+        }
+    }
+
+    /// A completion capsule's retransmission timeout fired.
+    fn on_comp_resend(&mut self, now: SimTime, id: u64) {
+        let (target, qp, pkts, bytes) = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+        };
+        let step = self
+            .fabric
+            .resume_send(&mut self.targets[target].nic, qp, now, pkts, bytes);
+        self.schedule_xfer(id, bytes, step, Event::CmdComplete, Event::CompResend);
+    }
+
+    /// Schedules the SSD submission once both halves of a command are
+    /// ready: the driver work (CPU + gate release) and the data pull.
+    /// Whichever side finishes second triggers the event, so it fires
+    /// exactly once.
+    fn try_ssd_submit(&mut self, id: u64) {
+        let cmd = self.cmds.get(id).expect("cmd exists");
+        if cmd.data_ready != SimTime::FAR_FUTURE && cmd.driver_ready != SimTime::FAR_FUTURE {
+            let at = cmd.data_ready.max(cmd.driver_ready);
+            self.events.push(at, Event::SsdSubmit(id));
+        }
     }
 
     fn on_cmd_arrive(&mut self, now: SimTime, id: u64) {
@@ -1135,14 +1278,25 @@ impl Cluster {
         }
 
         // Pull the data blocks with a one-sided RDMA READ (overlaps any
-        // gate wait).
-        let data_ready = self.fabric.rdma_read(
+        // gate wait). A dropped packet parks the pull in go-back-N
+        // recovery; `data_ready` stays FAR_FUTURE until the resend
+        // completes and the submission waits for it.
+        let init_qp = self.target_qp(target_idx, qp);
+        match self.fabric.pull_burst(
             &mut self.targets[target_idx].nic,
             &mut self.init_nic,
+            init_qp,
             recv_done,
             bytes,
-        );
-        self.cmds.get_mut(id).expect("cmd exists").data_ready = data_ready;
+        ) {
+            rio_net::XferStep::Delivered { at } => {
+                self.cmds.get_mut(id).expect("cmd exists").data_ready = at;
+            }
+            rio_net::XferStep::Dropped {
+                resume_at,
+                pkts_left,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, Event::DataResend),
+        }
 
         if let Some(attr) = attr {
             // Apply the release piggyback for this stream.
@@ -1167,8 +1321,8 @@ impl Cluster {
                 self.targets[target_idx]
                     .cores
                     .run_on(core, recv_done, self.cfg.cpu.ssd_submit);
-            let start = submit.max(data_ready);
-            self.events.push(start, Event::SsdSubmit(id));
+            self.cmds.get_mut(id).expect("cmd exists").driver_ready = submit;
+            self.try_ssd_submit(id);
         }
     }
 
@@ -1204,7 +1358,6 @@ impl Cluster {
     ) -> SimTime {
         let cmd = self.cmds.get_mut(id).expect("cmd exists");
         let core = cmd.qp;
-        let data_ready = cmd.data_ready;
         // Persist the ordering attribute before the data (step ⑤).
         let rec = attr.to_pmr_record(0);
         let target = &mut self.targets[target_idx];
@@ -1222,12 +1375,13 @@ impl Cluster {
             .cores
             .run_on(core, cpu, self.cfg.cpu.pmr_append);
         // Submit to the SSD once the driver work and the data pull both
-        // finish (via an event, keeping the device clock monotone).
+        // finish (via an event, keeping the device clock monotone). A
+        // retransmitted data pull may still be in flight here.
         let submit = self.targets[target_idx]
             .cores
             .run_on(core, cpu, self.cfg.cpu.ssd_submit);
-        let start = submit.max(data_ready);
-        self.events.push(start, Event::SsdSubmit(id));
+        self.cmds.get_mut(id).expect("cmd exists").driver_ready = submit;
+        self.try_ssd_submit(id);
         cpu
     }
 
@@ -1318,16 +1472,20 @@ impl Cluster {
         self.send_completion(cpu, id);
     }
 
-    /// Sends the completion capsule back to the initiator.
+    /// Sends the completion capsule back to the initiator (with the
+    /// same go-back-N recovery as the command capsule).
     fn send_completion(&mut self, now: SimTime, id: u64) {
         let (target_idx, qp) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (cmd.target, cmd.qp)
         };
-        let delivery = self
-            .fabric
-            .send(&mut self.targets[target_idx].nic, qp, now, 32);
-        self.events.push(delivery, Event::CmdComplete(id));
+        let step = self.fabric.send_burst(
+            &mut self.targets[target_idx].nic,
+            qp,
+            now,
+            COMPLETION_BYTES,
+        );
+        self.schedule_xfer(id, COMPLETION_BYTES, step, Event::CmdComplete, Event::CompResend);
     }
 
     // ---- completion side ---------------------------------------------------
@@ -1429,6 +1587,9 @@ impl Cluster {
             flush_embedded: false,
             unit: u64::MAX,
             data_ready: SimTime::FAR_FUTURE,
+            driver_ready: SimTime::FAR_FUTURE,
+            retx_pkts: 0,
+            retx_bytes: 0,
             slot: None,
         };
         self.send_cmd(c, flush_cmd);
@@ -1514,7 +1675,8 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TargetConfig;
+    use crate::config::{FabricConfig, TargetConfig};
+    use proptest::prelude::*;
     use rio_net::FabricProfile;
     use rio_ssd::SsdProfile;
 
@@ -1528,6 +1690,7 @@ mod tests {
                 cores: 8,
             }],
             fabric: FabricProfile::connectx6(),
+            net: Default::default(),
             cpu: Default::default(),
             streams: threads,
             qps_per_target: 8,
@@ -1701,6 +1864,111 @@ mod tests {
             scattered.groups_done, pinned.groups_done,
             "ordering still intact"
         );
+    }
+
+    #[test]
+    fn lossy_fabric_completes_and_counts_retransmits() {
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 2);
+        cfg.net = FabricConfig::lossy(0.05, 2);
+        cfg.net.migrate_every = 64;
+        let m = Cluster::new(cfg, Workload::random_4k(2, 300)).run();
+        assert_eq!(m.groups_done, 600, "loss must not lose groups");
+        assert_eq!(m.blocks_done, 600);
+        assert!(m.net.drops > 0, "5% loss must drop packets");
+        assert!(m.net.retransmits > 0, "drops must be retransmitted");
+        assert!(m.net.retx_rounds > 0);
+        assert_eq!(m.net.per_path.len(), 2, "both paths reported");
+        assert!(
+            m.net.per_path.iter().all(|p| p.packets > 0),
+            "migration + QP spread must load both paths: {:?}",
+            m.net.per_path
+        );
+    }
+
+    #[test]
+    fn retransmission_reorders_into_the_gate() {
+        // Streams are pinned to QPs, so without loss the gate never
+        // buffers. A retransmitted command is overtaken by its QP
+        // successors, and the target-side gate must absorb exactly
+        // that reordering (the paper's §4.3.1 argument, now driven by
+        // the fabric instead of the scatter ablation).
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 2);
+        cfg.net = FabricConfig::lossy(0.08, 1);
+        let lossy = Cluster::new(cfg, Workload::random_4k(2, 400)).run();
+        assert!(
+            lossy.gate_buffered > 0,
+            "retransmitted commands should arrive after successors"
+        );
+        assert_eq!(lossy.groups_done, 800, "ordering still intact");
+
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 2);
+        cfg.net = FabricConfig::default();
+        let clean = Cluster::new(cfg, Workload::random_4k(2, 400)).run();
+        assert_eq!(clean.gate_buffered, 0, "lossless pinned gate stays idle");
+    }
+
+    #[test]
+    fn lossy_fabric_degrades_linux_more_than_rio() {
+        // The fig_lossy_fabric headline in miniature: with a deep
+        // asynchronous window (Rio's whole design), per-stream recovery
+        // stalls overlap and the SSD stays fed, so relative throughput
+        // loss under packet loss is far worse for the serial Linux
+        // path than for Rio's pipelined one.
+        let run = |mode: OrderingMode, loss: f64, groups: u64| {
+            let mut cfg = small_cfg(mode, 4);
+            cfg.max_inflight_per_stream = 64;
+            cfg.net = FabricConfig::lossy(loss, 1);
+            Cluster::new(cfg, Workload::random_4k(4, groups))
+                .run()
+                .block_iops()
+        };
+        let rio_drop = 1.0
+            - run(OrderingMode::Rio { merge: true }, 0.02, 2000)
+                / run(OrderingMode::Rio { merge: true }, 0.0, 2000);
+        let linux_drop = 1.0
+            - run(OrderingMode::LinuxNvmf, 0.02, 300) / run(OrderingMode::LinuxNvmf, 0.0, 300);
+        assert!(
+            linux_drop > rio_drop,
+            "linux lost {linux_drop:.3} vs rio {rio_drop:.3}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+
+        /// For any loss rate < 1 and any path layout, every submitted
+        /// group completes exactly once under every ordering engine,
+        /// and retransmission never breaks the per-mode invariants.
+        #[test]
+        fn prop_lossy_exactly_once_all_modes(
+            loss in 0.0f64..0.5,
+            paths in 1usize..5,
+            migrate in 0u64..3,
+            seed in any::<u64>(),
+        ) {
+            for mode in [
+                OrderingMode::Orderless,
+                OrderingMode::LinuxNvmf,
+                OrderingMode::Horae,
+                OrderingMode::Rio { merge: true },
+            ] {
+                let groups = if mode == OrderingMode::LinuxNvmf { 15 } else { 60 };
+                let mut cfg = small_cfg(mode.clone(), 2);
+                cfg.seed = seed;
+                cfg.net = FabricConfig::lossy(loss, paths);
+                cfg.net.rto_us = 25.0;
+                cfg.net.migrate_every = migrate * 32;
+                let m = Cluster::new(cfg, Workload::random_4k(2, groups)).run();
+                prop_assert_eq!(m.groups_done, 2 * groups, "{} lost groups", mode.label());
+                prop_assert_eq!(m.blocks_done, 2 * groups, "{} lost blocks", mode.label());
+                if loss > 0.01 {
+                    prop_assert!(
+                        m.net.drops == 0 || m.net.retransmits > 0,
+                        "{}: drops without retransmission", mode.label()
+                    );
+                }
+            }
+        }
     }
 
     #[test]

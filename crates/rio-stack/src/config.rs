@@ -35,6 +35,72 @@ impl OrderingMode {
     }
 }
 
+/// Fabric transport configuration: loss, segmentation and paths.
+///
+/// These knobs parameterize the packet-level model in `rio-net`: the
+/// cluster applies them on top of the base [`FabricProfile`] timing
+/// profile when it builds the fabric (see [`FabricConfig::apply`]).
+/// The default is the lossless single-path fabric earlier experiments
+/// ran on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FabricConfig {
+    /// Per-packet drop probability (clamped to `[0, 0.995]` by the
+    /// fabric so go-back-N recovery terminates).
+    pub loss_rate: f64,
+    /// Maximum transmission unit in bytes; messages are segmented into
+    /// packets of at most this size.
+    pub mtu_bytes: u32,
+    /// Go-back-N recovery latency in microseconds (NAK-triggered
+    /// recovery on a busy RC queue pair; a few fabric round trips).
+    pub rto_us: f64,
+    /// Number of asymmetric paths per NIC. The base bandwidth is split
+    /// evenly; path `i` runs at `base_latency * (1 + spread * i)`.
+    pub paths: usize,
+    /// Per-path latency spread factor (see [`FabricConfig::paths`]).
+    pub path_latency_spread: f64,
+    /// Messages per queue pair between path migrations; `0` pins each
+    /// QP to its initial path. When non-zero, a retransmission timeout
+    /// also fails the QP over to the next path.
+    pub migrate_every: u64,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            loss_rate: 0.0,
+            mtu_bytes: 4096,
+            rto_us: 25.0,
+            paths: 1,
+            path_latency_spread: 0.15,
+            migrate_every: 0,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// A lossy multi-path fabric — the `fig_lossy_fabric` sweep shape.
+    pub fn lossy(loss_rate: f64, paths: usize) -> Self {
+        FabricConfig {
+            loss_rate,
+            paths: paths.max(1),
+            ..FabricConfig::default()
+        }
+    }
+
+    /// Builds the `rio-net` profile: `base` timing plus this config's
+    /// segmentation, loss and path layout.
+    pub fn apply(&self, base: FabricProfile) -> FabricProfile {
+        let mut p = base
+            .with_mtu(self.mtu_bytes)
+            .with_loss(self.loss_rate, self.rto_us)
+            .with_migration(self.migrate_every);
+        if self.paths > 1 {
+            p = p.with_paths(self.paths, self.path_latency_spread);
+        }
+        p
+    }
+}
+
 /// One target server.
 #[derive(Debug, Clone)]
 pub struct TargetConfig {
@@ -114,8 +180,10 @@ pub struct ClusterConfig {
     pub initiator_cores: usize,
     /// Target servers.
     pub targets: Vec<TargetConfig>,
-    /// Fabric profile.
+    /// Fabric timing profile (latency, bandwidth, jitter).
     pub fabric: FabricProfile,
+    /// Fabric transport behavior: loss, MTU, paths, migration.
+    pub net: FabricConfig,
     /// CPU cost model.
     pub cpu: CpuCosts,
     /// Number of ordered streams (`rio_setup`; default = threads).
@@ -150,6 +218,7 @@ impl ClusterConfig {
                 cores: 36,
             }],
             fabric: FabricProfile::connectx6(),
+            net: FabricConfig::default(),
             cpu: CpuCosts::default(),
             streams,
             qps_per_target: 36,
@@ -177,6 +246,7 @@ impl ClusterConfig {
                 },
             ],
             fabric: FabricProfile::connectx6(),
+            net: FabricConfig::default(),
             cpu: CpuCosts::default(),
             streams,
             qps_per_target: 36,

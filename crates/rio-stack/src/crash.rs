@@ -192,6 +192,7 @@ mod tests {
                 },
             ],
             fabric: FabricProfile::connectx6(),
+            net: Default::default(),
             cpu: Default::default(),
             streams: threads,
             qps_per_target: 8,

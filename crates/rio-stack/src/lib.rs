@@ -22,6 +22,8 @@
 //! utilisation, §6.1) come out of the same run. Crash injection and the
 //! recovery driver for §6.5 live in [`crash`].
 
+#![deny(missing_docs)]
+
 pub mod cluster;
 pub mod config;
 pub mod cpu;
@@ -30,6 +32,6 @@ pub mod metrics;
 pub mod workload;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, CpuCosts, OrderingMode, TargetConfig};
-pub use metrics::RunMetrics;
+pub use config::{ClusterConfig, CpuCosts, FabricConfig, OrderingMode, TargetConfig};
+pub use metrics::{NetMetrics, RunMetrics};
 pub use workload::Workload;

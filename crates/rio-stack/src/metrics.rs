@@ -1,6 +1,60 @@
 //! Run metrics: the numbers every figure reports.
 
+use rio_net::PathStats;
 use rio_sim::{Histogram, MeanAccum, SimDuration, SimTime};
+
+/// Aggregated fabric counters of one run, summed over every NIC
+/// (initiator plus all targets).
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct NetMetrics {
+    /// Packets transmitted (MTU segmentation makes this ≥ messages).
+    pub packets: u64,
+    /// Bytes serialized onto egress links.
+    pub bytes_out: u64,
+    /// Packets the fabric dropped.
+    pub drops: u64,
+    /// Packets retransmitted after a go-back-N timeout.
+    pub retransmits: u64,
+    /// Recovery rounds entered (retransmission timeouts fired).
+    pub retx_rounds: u64,
+    /// Peak messages simultaneously stalled in retransmission on any
+    /// single NIC.
+    pub retx_inflight_peak: u64,
+    /// Per-path transmit statistics, aggregated across NICs by path
+    /// index (index 0 is every NIC's fastest path).
+    pub per_path: Vec<PathStats>,
+}
+
+impl NetMetrics {
+    /// Folds one NIC's counters into the aggregate.
+    pub fn absorb(&mut self, nic: &rio_net::Nic) {
+        let s = nic.stats();
+        self.packets += s.packets;
+        self.bytes_out += s.bytes_out;
+        self.drops += s.drops;
+        self.retransmits += s.retransmits;
+        self.retx_rounds += s.retx_rounds;
+        self.retx_inflight_peak = self.retx_inflight_peak.max(s.retx_inflight_peak);
+        for (i, p) in nic.path_stats().into_iter().enumerate() {
+            if self.per_path.len() <= i {
+                self.per_path.resize_with(i + 1, PathStats::default);
+            }
+            let agg = &mut self.per_path[i];
+            agg.packets += p.packets;
+            agg.bytes += p.bytes;
+            agg.drops += p.drops;
+            agg.retransmits += p.retransmits;
+        }
+    }
+
+    /// Fraction of transmitted packets that were dropped.
+    pub fn drop_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            return 0.0;
+        }
+        self.drops as f64 / self.packets as f64
+    }
+}
 
 /// Aggregated results of one simulation run.
 ///
@@ -38,6 +92,8 @@ pub struct RunMetrics {
     pub initiator_util: f64,
     /// Mean target CPU utilisation in `[0, 1]`.
     pub target_util: f64,
+    /// Fabric counters: packets, drops, retransmissions, per-path load.
+    pub net: NetMetrics,
     /// When the run finished.
     pub finished_at: SimTime,
 }
@@ -108,6 +164,7 @@ mod tests {
             stage_dispatch: Default::default(),
             initiator_util: util,
             target_util: util / 2.0,
+            net: NetMetrics::default(),
             finished_at: SimTime::ZERO,
         }
     }

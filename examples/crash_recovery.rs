@@ -29,6 +29,7 @@ fn main() {
             },
         ],
         fabric: FabricProfile::connectx6(),
+        net: Default::default(),
         cpu: Default::default(),
         streams: 8,
         qps_per_target: 8,

@@ -5,7 +5,7 @@ use rio::fs::{OrderedDev, RioFs};
 use rio::sim::SimTime;
 use rio::ssd::SsdProfile;
 use rio::stack::crash::run_crash_recovery;
-use rio::stack::{Cluster, ClusterConfig, OrderingMode, Workload};
+use rio::stack::{Cluster, ClusterConfig, FabricConfig, OrderingMode, Workload};
 use rio::workloads::{MiniKv, Varmail};
 
 fn small(mode: OrderingMode, threads: usize) -> ClusterConfig {
@@ -93,6 +93,47 @@ fn run_metrics_snapshot_identical_across_all_modes() {
             a.events_processed,
             b.events_processed,
             "{} event count diverged",
+            mode.label()
+        );
+    }
+}
+
+#[test]
+fn run_metrics_snapshot_identical_on_a_lossy_fabric() {
+    // Same rail as above, but over the lossy multi-path fabric: drops,
+    // go-back-N timeouts and path migration are all driven by the
+    // seeded rng, so the same `(config, seed)` must still reproduce
+    // the entire `RunMetrics` — including the fabric counters — for
+    // every ordering engine.
+    for mode in [
+        OrderingMode::Orderless,
+        OrderingMode::LinuxNvmf,
+        OrderingMode::Horae,
+        OrderingMode::Rio { merge: true },
+    ] {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let run = || {
+            let mut cfg = small(mode.clone(), 3);
+            cfg.net = FabricConfig::lossy(0.05, 2);
+            cfg.net.migrate_every = 32;
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "{} lossy replay diverged", mode.label());
+        assert!(a.net.drops > 0, "{}: 5% loss must drop packets", mode.label());
+        assert!(
+            a.net.retransmits > 0,
+            "{}: dropped packets must be retransmitted",
+            mode.label()
+        );
+        assert_eq!(
+            a.groups_done,
+            3 * groups,
+            "{}: loss must not lose groups",
             mode.label()
         );
     }
