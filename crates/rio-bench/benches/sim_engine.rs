@@ -213,6 +213,14 @@ fn main() {
         total_events as f64 / total_wall.max(1e-12)
     );
     let json = render_json(&cells, smoke);
+    // Cargo runs benches with the package dir as cwd, so a relative
+    // --out like `target/BENCH_sim_smoke.json` points at a directory
+    // that may not exist; create it instead of failing the smoke run.
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create output directory");
+        }
+    }
     std::fs::write(&out_path, json).expect("write BENCH_sim.json");
     println!("wrote {out_path}");
 }

@@ -285,6 +285,30 @@ impl Nic {
         }
         self.stats.retx_inflight = 0;
     }
+
+    /// The crash entry point: resets in-flight NIC state at a fault.
+    ///
+    /// Crash handlers must call this whenever they also discard the
+    /// simulation events that would have driven this NIC's pending
+    /// `resume_*` calls; otherwise [`NicStats::retx_inflight`] leaks the
+    /// messages that were parked in retransmission at the crash, and a
+    /// stale post-crash delivery would underflow the counter. Semantics
+    /// are those of [`Nic::reset`]: queue pairs reconnect fresh at
+    /// `now`, cumulative statistics survive.
+    pub fn crash_reset(&mut self, now: SimTime) {
+        self.reset(now);
+    }
+
+    /// Settles one parked message (a retransmission recovery finished).
+    /// Guards the decrement: after a crash reset the counter is zero,
+    /// and a stale delivery must not wrap it around.
+    fn retx_settled(&mut self) {
+        debug_assert!(
+            self.stats.retx_inflight > 0,
+            "retransmission settled with no message parked (stale post-crash delivery?)"
+        );
+        self.stats.retx_inflight = self.stats.retx_inflight.checked_sub(1).unwrap_or(0);
+    }
 }
 
 /// Outcome of one transmit round of a message.
@@ -489,7 +513,7 @@ impl Fabric {
         assert!(qp < src.qps.len(), "queue pair {qp} out of range");
         let step = self.xmit_round(src, qp, now, bytes, pkts_left, true, true);
         match step {
-            XferStep::Delivered { .. } => src.stats.retx_inflight -= 1,
+            XferStep::Delivered { .. } => src.retx_settled(),
             XferStep::Dropped { .. } => src.stats.retx_rounds += 1,
         }
         step
@@ -602,7 +626,7 @@ impl Fabric {
             self.xmit_round(source, qp, now, bytes, pkts_left, true, false)
         };
         match step {
-            XferStep::Delivered { .. } => reader.stats.retx_inflight -= 1,
+            XferStep::Delivered { .. } => reader.retx_settled(),
             XferStep::Dropped { .. } => reader.stats.retx_rounds += 1,
         }
         step
@@ -641,7 +665,7 @@ impl Fabric {
             match step {
                 XferStep::Delivered { at } => {
                     if parked {
-                        writer.stats.retx_inflight -= 1;
+                        writer.retx_settled();
                     }
                     return at;
                 }
@@ -788,6 +812,30 @@ mod tests {
         // After reset a send is not held behind the old cursor.
         let d = f.send(&mut nic, 0, SimTime::from_nanos(500), 64);
         assert!(d.as_micros_f64() < 50.0);
+    }
+
+    #[test]
+    fn crash_reset_forgets_parked_retransmissions() {
+        let profile = FabricProfile::connectx6().with_loss(0.995, 10.0);
+        let mut f = Fabric::new(profile, 1);
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        // Park a message in go-back-N recovery, then crash before its
+        // resend timeout: the parked message must be forgotten.
+        let step = f.send_burst(&mut nic, 0, SimTime::ZERO, 64);
+        if matches!(step, XferStep::Delivered { .. }) {
+            return; // 0.5% chance; nothing parked, nothing to test.
+        }
+        assert_eq!(nic.stats().retx_inflight, 1);
+        let drops_before = nic.stats().drops;
+        nic.crash_reset(SimTime::from_nanos(1_000));
+        assert_eq!(nic.stats().retx_inflight, 0, "crash forgets the window");
+        assert_eq!(nic.stats().drops, drops_before, "cumulative stats survive");
+        // Post-crash traffic must not underflow the settled counter: a
+        // fresh lossless fabric delivers and the counter stays at zero.
+        let mut clean = Fabric::new(FabricProfile::connectx6(), 2);
+        let d = clean.send(&mut nic, 0, SimTime::from_nanos(1_000), 64);
+        assert!(d >= SimTime::from_nanos(1_000));
+        assert_eq!(nic.stats().retx_inflight, 0);
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub struct IpuEvent {
 }
 
 /// Recovery outcome for one stream.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StreamPlan {
     /// The stream.
     pub stream: StreamId,
@@ -127,7 +127,7 @@ pub struct StreamPlan {
 }
 
 /// The full recovery plan.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryPlan {
     /// Plans per stream, ordered by stream id.
     pub streams: Vec<StreamPlan>,

@@ -459,6 +459,29 @@ impl Ssd {
         (id, cmd_done)
     }
 
+    /// Settles every accepted command at its own completion instant and
+    /// returns the latest one (or `now` if nothing was pending).
+    ///
+    /// This is the partial-failure counterpart of [`Ssd::crash`]: when
+    /// *other* targets lose power, an alive target keeps its cache and
+    /// in-flight queue, and by the time the initiator's recovery (tens
+    /// of milliseconds of PMR scanning) reads or discards state here,
+    /// every command the device had accepted — microseconds from
+    /// completion — has finished. Recovery drivers call this before
+    /// issuing discards so a pending write cannot land *after* the
+    /// roll-back erased its range and resurrect rolled-back data.
+    pub fn quiesce(&mut self, now: SimTime) -> SimTime {
+        let settle = self
+            .pending
+            .iter()
+            .map(|((done_at, _), _)| *done_at)
+            .max()
+            .unwrap_or(now)
+            .max(now);
+        self.advance(settle);
+        settle
+    }
+
     /// Simulates a power failure at `now`: volatile cache and in-flight
     /// commands are lost; media and PMR survive. On PLP drives the
     /// capacitors flush completed writes to media first.
@@ -684,6 +707,27 @@ mod tests {
         let cap = p.capacity_blocks;
         let mut s = ssd(p);
         s.submit_write(SimTime::ZERO, cap, one_block(1), false);
+    }
+
+    #[test]
+    fn quiesce_settles_in_flight_commands() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        // Quiesce *before* the write's completion instant: the alive
+        // device still finishes the accepted command.
+        let settled = s.quiesce(SimTime::from_nanos(done.as_nanos() / 2));
+        assert!(settled >= done, "quiesce runs to the last completion");
+        assert!(s.is_durable(5), "accepted PLP write lands on media");
+        // A crash after the quiesce point loses nothing more.
+        s.crash(settled);
+        assert!(s.is_durable(5));
+    }
+
+    #[test]
+    fn quiesce_on_idle_device_is_a_no_op() {
+        let mut s = ssd(SsdProfile::pm981());
+        let t0 = t(5);
+        assert_eq!(s.quiesce(t0), t0);
     }
 
     #[test]

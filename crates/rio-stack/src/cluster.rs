@@ -23,15 +23,17 @@ use rio_block::{Plug, StripedVolume};
 use rio_net::{Fabric, Nic};
 use rio_order::attr::{BlockRange, OrderingAttr, Seq, ServerId, StreamId};
 use rio_order::pmrlog::{PmrLog, SlotRef};
+use rio_order::recovery::{RecoveryInput, RecoveryMode, RecoveryPlan, ServerScan};
 use rio_order::scheduler::{split_attr_into, OrderQueue, OrderQueueConfig};
 use rio_order::sequencer::SubmitOpts;
 use rio_order::{InOrderCompleter, Sequencer, SubmissionGate};
-use rio_sim::{EventHeap, Histogram, SimRng, SimTime, Slab};
+use rio_sim::{EventHeap, Histogram, SimDuration, SimRng, SimTime, Slab};
 use rio_ssd::{BlockImage, Ssd};
 
 use crate::config::{ClusterConfig, OrderingMode};
 use crate::cpu::CoreSet;
-use crate::metrics::RunMetrics;
+use crate::crash::{DISCARD_US, DRAM_SCAN_US_PER_RECORD, MERGE_NS_PER_RECORD, PMR_SCAN_US_PER_SLOT};
+use crate::metrics::{EpochMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
 use crate::workload::{FsyncStage, GroupSpec, Workload};
 
 /// Simulation events.
@@ -61,6 +63,8 @@ enum Event {
     CtrlArrive { target: usize, thread: usize },
     /// A Horae control acknowledgement reached the initiator.
     CtrlAck { thread: usize },
+    /// A scheduled fault fires (index into the config's `FaultPlan`).
+    Fault(u32),
 }
 
 /// NVMe-oF command capsule size on the wire (64 B SQE + headers).
@@ -227,6 +231,11 @@ struct ThreadState {
     /// Horae: earliest instant the next control post may issue (the
     /// serialized ordering-layer gap).
     ctrl_gate_until: SimTime,
+    /// Rio under fault injection: submitted-but-undelivered groups, in
+    /// sequence order, so a recovery can redeliver the durable prefix
+    /// and re-queue the rolled-back tail. Empty when no faults are
+    /// configured.
+    replay: VecDeque<(u32, GroupSpec)>,
 }
 
 /// One target server.
@@ -319,8 +328,19 @@ pub struct Cluster {
     op_latency: Histogram,
     stage_lat: [rio_sim::MeanAccum; 4],
     last_completion: SimTime,
-    /// Optional simulation stop time (crash experiments).
-    stop_at: Option<SimTime>,
+    /// Whether per-thread replay buffers are maintained (fault plans).
+    track_replay: bool,
+    /// Next fault in `cfg.faults` that has not fired yet.
+    fault_cursor: usize,
+    /// One breakdown per fault survived so far.
+    recoveries: Vec<RecoveryMetrics>,
+    /// Closed crash-free epochs (the open one is closed by `metrics`).
+    epochs: Vec<EpochMetrics>,
+    /// Start of the open epoch and the counter bases at that instant.
+    epoch_start: SimTime,
+    epoch_groups_base: u64,
+    epoch_blocks_base: u64,
+    epoch_ops_base: u64,
 }
 
 impl Cluster {
@@ -337,6 +357,21 @@ impl Cluster {
             "need one stream per thread"
         );
         assert!(!cfg.targets.is_empty(), "need at least one target");
+        if !cfg.faults.events.is_empty() {
+            assert!(
+                matches!(cfg.mode, OrderingMode::Rio { .. }),
+                "fault injection requires a Rio mode: recovery rebuilds \
+                 the order from persisted attributes, which only Rio keeps"
+            );
+            for w in cfg.faults.events.windows(2) {
+                assert!(w[0].at < w[1].at, "fault times must strictly increase");
+            }
+            for ev in &cfg.faults.events {
+                for t in ev.kind.hit_targets(cfg.targets.len()) {
+                    assert!(t < cfg.targets.len(), "fault names target {t} of {}", cfg.targets.len());
+                }
+            }
+        }
         let mut root_rng = SimRng::seed_from_u64(cfg.seed);
         // The effective wire profile: base timing plus the transport
         // behavior (segmentation, loss, paths) from `cfg.net`.
@@ -409,6 +444,7 @@ impl Cluster {
                 ctrl_pending: VecDeque::new(),
                 ctrl_outstanding: false,
                 ctrl_gate_until: SimTime::ZERO,
+                replay: VecDeque::new(),
             })
             .collect();
 
@@ -461,39 +497,60 @@ impl Cluster {
             op_latency: Histogram::new(),
             stage_lat: Default::default(),
             last_completion: SimTime::ZERO,
+            track_replay: !cfg.faults.events.is_empty(),
+            fault_cursor: 0,
+            recoveries: Vec::new(),
+            epochs: Vec::new(),
+            epoch_start: SimTime::ZERO,
+            epoch_groups_base: 0,
+            epoch_blocks_base: 0,
+            epoch_ops_base: 0,
             events: EventHeap::with_capacity(inflight_hint),
             fabric,
             mode_kind: ModeKind::of(&cfg.mode),
             cfg,
             workload,
-            stop_at: None,
         }
     }
 
-    /// Runs the workload to completion and returns metrics.
+    /// Runs the workload to completion — surviving any scheduled
+    /// faults — and returns metrics.
     pub fn run(mut self) -> RunMetrics {
         self.start();
-        while let Some((now, ev)) = self.events.pop() {
-            if let Some(stop) = self.stop_at {
-                if now > stop {
-                    break;
-                }
+        loop {
+            while let Some((now, ev)) = self.events.pop() {
+                self.events_processed += 1;
+                self.handle(now, ev);
             }
-            self.events_processed += 1;
-            self.handle(now, ev);
+            // Faults whose heap events died with an earlier
+            // non-resuming fault's clear still fire, in order, at
+            // their scheduled times.
+            if self.fault_cursor < self.cfg.faults.events.len() {
+                let idx = self.fault_cursor;
+                let at = self.cfg.faults.events[idx].at.max(self.last_completion);
+                self.events_processed += 1;
+                self.on_fault(at, idx);
+            } else {
+                break;
+            }
         }
         self.metrics()
     }
 
-    /// Schedules the initial thread wake-ups.
+    /// Schedules the initial thread wake-ups and the fault plan.
     pub(crate) fn start(&mut self) {
         for t in 0..self.threads.len() {
             self.events.push(SimTime::ZERO, Event::Resume(t));
         }
+        for i in 0..self.cfg.faults.events.len() {
+            let at = self.cfg.faults.events[i].at;
+            self.events.push(at, Event::Fault(i as u32));
+        }
     }
 
     /// Runs until the event heap drains or `deadline` passes; returns
-    /// the virtual time reached (crash experiments).
+    /// the virtual time reached.
+    #[cfg(test)]
     pub(crate) fn run_until(&mut self, deadline: SimTime) -> SimTime {
         let mut reached = SimTime::ZERO;
         while let Some((now, ev)) = self.events.pop_if_at_or_before(deadline) {
@@ -536,6 +593,17 @@ impl Cluster {
         for t in &self.targets {
             net.absorb(&t.nic);
         }
+        // Close the open epoch. A fault with `resume: false` may leave
+        // the resume instant past the last completion; the final epoch
+        // is then empty, not negative.
+        let mut epochs = self.epochs.clone();
+        epochs.push(EpochMetrics {
+            from: self.epoch_start,
+            to: self.last_completion.max(self.epoch_start),
+            groups_done: self.groups_done - self.epoch_groups_base,
+            blocks_done: self.blocks_done - self.epoch_blocks_base,
+            ops_done: self.ops_done - self.epoch_ops_base,
+        });
         RunMetrics {
             blocks_done: self.blocks_done,
             groups_done: self.groups_done,
@@ -550,6 +618,8 @@ impl Cluster {
             initiator_util: self.init_cores.utilization(span),
             target_util,
             net,
+            recoveries: self.recoveries.clone(),
+            epochs,
             finished_at: self.last_completion,
         }
     }
@@ -568,6 +638,7 @@ impl Cluster {
             Event::CmdComplete(c) => self.on_cmd_complete(now, c),
             Event::CtrlArrive { target, thread } => self.on_ctrl_arrive(now, target, thread),
             Event::CtrlAck { thread } => self.on_ctrl_ack(now, thread),
+            Event::Fault(i) => self.on_fault(now, i as usize),
         }
     }
 
@@ -671,6 +742,7 @@ impl Cluster {
                 let stream = self.threads[t].stream;
                 let n = spec.members.len();
                 let blocks = spec.blocks();
+                let mut group_seq = 0u32;
                 for (i, m) in spec.members.iter().enumerate() {
                     let last = i == n - 1;
                     cpu = self.init_cores.run_on(
@@ -688,6 +760,7 @@ impl Cluster {
                         },
                     );
                     if last {
+                        group_seq = attr.seq_start.0;
                         self.group_info[stream.0 as usize].insert(
                             attr.seq_start.0,
                             GroupInfo {
@@ -699,6 +772,11 @@ impl Cluster {
                         );
                     }
                     self.order_queues[stream.0 as usize].push(attr, 0);
+                }
+                if self.track_replay {
+                    // Keep the spec until delivery so a recovery can
+                    // re-queue rolled-back groups for resubmission.
+                    self.threads[t].replay.push_back((group_seq, spec.clone()));
                 }
                 self.threads[t].inflight += 1;
                 submitted += 1;
@@ -1526,6 +1604,13 @@ impl Cluster {
                 let info = self.group_info[stream.0 as usize]
                     .remove(seq.0)
                     .expect("delivered group was submitted");
+                if self.track_replay {
+                    let popped = self.threads[info.thread].replay.pop_front();
+                    debug_assert!(
+                        matches!(popped, Some((s, _)) if s == seq.0),
+                        "replay buffer out of sync with in-order delivery"
+                    );
+                }
                 self.groups_done += 1;
                 self.blocks_done += info.blocks as u64;
                 self.group_latency.record(cpu.since(info.submitted));
@@ -1649,33 +1734,333 @@ impl Cluster {
         }
     }
 
-    // ---- crash-experiment access ------------------------------------------
+    // ---- fault injection / in-loop recovery --------------------------------
 
-    /// Immutable access to a target's SSDs (tests, crash experiments).
+    /// Handles one scheduled fault: applies the physical failure, runs
+    /// the §4.4 recovery (parallel PMR scans, global merge, discard of
+    /// out-of-order blocks) inside the event loop, and — for survivable
+    /// faults — re-arms every ordering engine and resumes the workload
+    /// in a fresh epoch.
+    fn on_fault(&mut self, now: SimTime, idx: usize) {
+        self.fault_cursor = idx + 1;
+        let ev = self.cfg.faults.events[idx].clone();
+        let crashed = ev.kind.hit_targets(self.targets.len());
+        let power_fail = ev.kind.is_power_fail();
+
+        // Close the current epoch at the fault instant.
+        self.epochs.push(EpochMetrics {
+            from: self.epoch_start,
+            to: now,
+            groups_done: self.groups_done - self.epoch_groups_base,
+            blocks_done: self.blocks_done - self.epoch_blocks_base,
+            ops_done: self.ops_done - self.epoch_ops_base,
+        });
+        self.epoch_groups_base = self.groups_done;
+        self.epoch_blocks_base = self.blocks_done;
+        self.epoch_ops_base = self.ops_done;
+
+        // The initiator's connections die with the fault: every
+        // in-flight command, data pull, completion and retransmission
+        // timer is lost. Clearing the slabs with the heap keeps stale
+        // ids from ever resolving again.
+        self.events.clear();
+        self.cmds.clear();
+        self.units.clear();
+
+        // Physical failure. Power loss kills volatile SSD state on the
+        // crashed targets; a NIC reset only kills in-flight transfers.
+        // Every NIC reconnects fresh — messages parked in go-back-N
+        // recovery died with their resend events, which is exactly the
+        // state `crash_reset` forgets.
+        if power_fail {
+            for &t in &crashed {
+                for ssd in &mut self.targets[t].ssds {
+                    ssd.crash(now);
+                }
+            }
+        }
+        for t in &mut self.targets {
+            t.nic.crash_reset(now);
+        }
+        self.init_nic.crash_reset(now);
+
+        // Alive targets keep power: every command their SSDs already
+        // accepted completes on-device (microseconds) long before the
+        // recovery (milliseconds) reads or rolls back state. Settle
+        // them now so a pending write cannot land after a discard.
+        let mut quiesced = now;
+        for (t, target) in self.targets.iter_mut().enumerate() {
+            if power_fail && crashed.contains(&t) {
+                continue;
+            }
+            for ssd in &mut target.ssds {
+                quiesced = quiesced.max(ssd.quiesce(now));
+            }
+        }
+
+        // ---- Phase 1: rebuild the global order ------------------------
+        // Targets scan in parallel and ship their records in one
+        // transfer each; the initiator merges serially. A power-failed
+        // target lost its driver and must MMIO-scan the whole PMR
+        // region; an alive target's driver still knows its live slots
+        // and answers from DRAM — which is why a NIC flap recovers
+        // orders of magnitude faster than a power failure.
+        let fabric_bw = self.cfg.fabric.bandwidth;
+        let one_way_us = self.cfg.fabric.one_way_latency_us;
+        let mut scans = Vec::new();
+        let mut scan_parallel = SimDuration::ZERO;
+        let mut records_total = 0usize;
+        for (t, target) in self.targets.iter().enumerate() {
+            let plp = target.ssds[0].profile().plp;
+            let pmr = target.ssds[0].pmr();
+            let outcome = PmrLog::scan(pmr.contents()).expect("formatted PMR");
+            let full_scan = power_fail && crashed.contains(&t);
+            let (scan_us, bytes) = if full_scan {
+                let slots = pmr.len() / 32;
+                (slots as f64 * PMR_SCAN_US_PER_SLOT, pmr.len() as u64)
+            } else {
+                let live = outcome.records.len();
+                (
+                    live as f64 * DRAM_SCAN_US_PER_RECORD,
+                    live as u64 * 32,
+                )
+            };
+            let scan_time = SimDuration::from_micros_f64(scan_us);
+            let wire = SimDuration::from_micros_f64(
+                bytes as f64 / fabric_bw * 1e6 + 2.0 * one_way_us,
+            );
+            scan_parallel = scan_parallel.max(scan_time + wire);
+            records_total += outcome.records.len();
+            scans.push(ServerScan {
+                server: ServerId(t as u16),
+                plp,
+                head_seqs: outcome.head_seqs,
+                records: outcome.records,
+            });
+        }
+        let merge_cpu = SimDuration::from_nanos(MERGE_NS_PER_RECORD * records_total as u64);
+        let order_rebuild = scan_parallel + merge_cpu;
+        let plan = RecoveryPlan::compute(&RecoveryInput {
+            scans,
+            mode: RecoveryMode::InitiatorRestart,
+        });
+
+        // ---- Phase 2: discard out-of-order blocks ---------------------
+        // Discards run concurrently per (server, ssd); within one SSD
+        // they serialize at DISCARD_US plus one wire round trip.
+        let t_disc = (now + order_rebuild).max(quiesced);
+        for target in &mut self.targets {
+            for ssd in &mut target.ssds {
+                ssd.advance(t_disc);
+            }
+        }
+        let mut per_ssd_counts: std::collections::HashMap<(usize, usize), usize> =
+            std::collections::HashMap::new();
+        let mut discards = 0usize;
+        for sp in &plan.streams {
+            for d in &sp.discard {
+                discards += 1;
+                *per_ssd_counts
+                    .entry((d.server.0 as usize, d.ssd as usize))
+                    .or_insert(0) += 1;
+                let ssd = &mut self.targets[d.server.0 as usize].ssds[d.ssd as usize];
+                ssd.submit_discard(t_disc, d.range.lba, d.range.blocks);
+            }
+        }
+        let data_recovery = per_ssd_counts
+            .values()
+            .map(|&n| SimDuration::from_micros_f64(n as f64 * DISCARD_US + 2.0 * one_way_us))
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let resumed_at = t_disc + data_recovery;
+
+        // ---- Re-arm and resume (or halt for one-shot experiments) -----
+        let mut streams = Vec::new();
+        if ev.resume {
+            self.reset_after_recovery(&plan, resumed_at, &mut streams);
+        } else {
+            for s in 0..self.cfg.streams {
+                let stream = StreamId(s as u16);
+                let delivered = Seq(self.released_through[s]);
+                let valid = plan
+                    .stream(stream)
+                    .map(|sp| sp.valid_through)
+                    .unwrap_or(delivered);
+                streams.push(StreamRecovery {
+                    stream,
+                    delivered_through: delivered,
+                    valid_through: valid,
+                    redelivered: 0,
+                    requeued: 0,
+                });
+            }
+        }
+
+        self.recoveries.push(RecoveryMetrics {
+            fault: idx,
+            crashed_targets: crashed,
+            power_fail,
+            crashed_at: now,
+            resumed_at,
+            order_rebuild,
+            data_recovery,
+            records_scanned: records_total,
+            discards,
+            streams,
+            plan,
+        });
+
+        self.epoch_start = resumed_at;
+        if ev.resume {
+            // The heap clear above killed the later fault events too;
+            // re-arm them. A fault scheduled inside this recovery
+            // window slips to the resume instant.
+            for j in (idx + 1)..self.cfg.faults.events.len() {
+                let at = self.cfg.faults.events[j].at.max(resumed_at);
+                self.events.push(at, Event::Fault(j as u32));
+            }
+            for t in 0..self.threads.len() {
+                self.events.push(resumed_at, Event::Resume(t));
+            }
+        }
+    }
+
+    /// Resets every ordering engine to the recovery plan's resume
+    /// points, completes the durable-but-unacknowledged prefix, and
+    /// hands each stream's rolled-back groups back to its thread.
+    fn reset_after_recovery(
+        &mut self,
+        plan: &RecoveryPlan,
+        resumed_at: SimTime,
+        out: &mut Vec<StreamRecovery>,
+    ) {
+        let n_streams = self.cfg.streams;
+        let n_threads = self.threads.len();
+        let mut resume_seq = vec![0u32; n_streams];
+        for s in 0..n_streams {
+            let stream = StreamId(s as u16);
+            let delivered = self.released_through[s];
+            let sp = plan.stream(stream);
+            let valid = sp.map(|p| p.valid_through.0).unwrap_or(delivered);
+            // The new epoch opens above everything the app saw complete
+            // AND everything the storage kept: on volatile drives the
+            // prefix can cut below the delivered mark (acked data was
+            // lost — ordinary non-fsync write-loss semantics), and on
+            // PLP drives it can extend above it (durable groups whose
+            // completions were in flight).
+            let resume = valid.max(delivered);
+            resume_seq[s] = resume;
+
+            let mut redelivered = 0u64;
+            let mut requeued = 0u64;
+            if s < n_threads {
+                let t = s;
+                let mut replay = std::mem::take(&mut self.threads[t].replay);
+                // 1. Deliver the durable-but-unacknowledged prefix now:
+                //    its data survived in storage order, so re-executing
+                //    it would double-apply.
+                while let Some(&(seq, _)) = replay.front() {
+                    if seq > valid {
+                        break;
+                    }
+                    let (seq, spec) = replay.pop_front().expect("front exists");
+                    let info = self.group_info[s]
+                        .remove(seq)
+                        .expect("undelivered group is tracked");
+                    self.groups_done += 1;
+                    self.blocks_done += spec.blocks() as u64;
+                    self.group_latency.record(resumed_at.since(info.submitted));
+                    redelivered += 1;
+                }
+                // 2. Everything beyond the prefix was rolled back:
+                //    re-queue it ahead of the thread's ungenerated
+                //    script, preserving submission order.
+                requeued = replay.len() as u64;
+                while let Some((_, spec)) = replay.pop_back() {
+                    self.threads[t].queue.push_front(spec);
+                }
+                self.group_info[s] = GroupInfoRing::default();
+                if redelivered > 0 {
+                    self.last_completion = self.last_completion.max(resumed_at);
+                }
+                let th = &mut self.threads[t];
+                th.inflight = 0;
+                th.parked = false;
+                th.done_submitting = false;
+                th.sync_stage = SyncStage::Idle;
+                let was_syncing = th.syncing;
+                th.syncing = false;
+                if was_syncing && requeued == 0 {
+                    // The op's sync point cleared during recovery; a
+                    // re-queued commit group re-arms it on resubmission
+                    // instead.
+                    self.finish_op(t, resumed_at);
+                }
+            }
+
+            // 3. Re-seed sequencer, completer and release bookkeeping.
+            let resume_prev: Vec<Seq> = sp
+                .map(|p| p.resume_prev.clone())
+                .unwrap_or_else(|| vec![Seq::HEAD; self.targets.len()]);
+            self.sequencer
+                .reset_stream(stream, Seq(resume + 1), &resume_prev);
+            self.completer.reset_stream(stream, Seq(resume));
+            self.released_through[s] = resume;
+
+            out.push(StreamRecovery {
+                stream,
+                delivered_through: Seq(delivered),
+                valid_through: Seq(valid),
+                redelivered,
+                requeued,
+            });
+        }
+
+        // 4. Reconnect every target: a fresh gate epoch (dispatch
+        //    ordinals restarted with the sequencer), PMR logs
+        //    re-formatted with the new epoch's head marks so a later
+        //    crash scans only post-resume records.
+        for target in &mut self.targets {
+            target.gate = SubmissionGate::with_streams(n_streams);
+            for q in &mut target.slots {
+                q.clear();
+            }
+            if target.log.is_some() {
+                let pmr_len = target.ssds[0].pmr().len();
+                let (log, writes) = PmrLog::format(pmr_len, n_streams);
+                for w in &writes {
+                    target.apply_pmr_write(w);
+                }
+                for (s, &head) in resume_seq.iter().enumerate() {
+                    let w = log.set_head_seq(StreamId(s as u16), Seq(head));
+                    target.apply_pmr_write(&w);
+                    target.slot_seen[s] = true;
+                    target.applied_release[s] = head;
+                }
+                target.log = Some(log);
+            }
+        }
+    }
+
+    // ---- test access -------------------------------------------------------
+
+    /// Immutable access to a target's SSDs.
+    #[cfg(test)]
     pub(crate) fn target_ssds(&self, target: usize) -> &[Ssd] {
         &self.targets[target].ssds
     }
 
-    /// Mutable access for crash injection.
-    pub(crate) fn target_ssds_mut(&mut self, target: usize) -> &mut Vec<Ssd> {
-        &mut self.targets[target].ssds
-    }
-
     /// Number of targets.
+    #[cfg(test)]
     pub(crate) fn n_targets(&self) -> usize {
         self.targets.len()
-    }
-
-    /// Discards all queued events (crash stops the world).
-    pub(crate) fn clear_events(&mut self) {
-        self.events.clear();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{FabricConfig, TargetConfig};
+    use crate::config::{FabricConfig, FaultEvent, FaultKind, FaultPlan, TargetConfig};
     use proptest::prelude::*;
     use rio_net::FabricProfile;
     use rio_ssd::SsdProfile;
@@ -1698,6 +2083,7 @@ mod tests {
             max_inflight_per_stream: 16,
             plug_merge: true,
             pin_stream_to_qp: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -1967,6 +2353,227 @@ mod tests {
                         "{}: drops without retransmission", mode.label()
                     );
                 }
+            }
+        }
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    fn two_target_cfg(threads: usize) -> ClusterConfig {
+        ClusterConfig {
+            seed: 9,
+            mode: OrderingMode::Rio { merge: true },
+            initiator_cores: 8,
+            targets: vec![
+                TargetConfig {
+                    ssds: vec![SsdProfile::optane905p()],
+                    cores: 8,
+                },
+                TargetConfig {
+                    ssds: vec![SsdProfile::optane905p()],
+                    cores: 8,
+                },
+            ],
+            fabric: FabricProfile::connectx6(),
+            net: Default::default(),
+            cpu: Default::default(),
+            streams: threads,
+            qps_per_target: 8,
+            stripe_blocks: 1,
+            max_inflight_per_stream: 16,
+            plug_merge: true,
+            pin_stream_to_qp: true,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// The acceptance scenario: loss = 1e-3, 2 paths, one of two
+    /// targets power-fails mid-flight; the run survives, completes
+    /// every group exactly once, and replays byte-identically.
+    #[test]
+    fn survivable_crash_completes_every_group_exactly_once() {
+        let threads = 2usize;
+        let groups = 600u64;
+        let lossy = |faults: FaultPlan| {
+            let mut cfg = two_target_cfg(threads);
+            cfg.net = FabricConfig::lossy(1e-3, 2);
+            cfg.faults = faults;
+            Cluster::new(cfg, Workload::random_4k(threads, groups)).run()
+        };
+        // Probe the crash-free span, then crash target 1 mid-flight.
+        let baseline = lossy(FaultPlan::none());
+        let crash_at = SimTime::from_nanos(baseline.finished_at.as_nanos() / 2);
+        let run = || lossy(FaultPlan::survivable_crash(crash_at, vec![1]));
+        let m = run();
+
+        assert_eq!(m.groups_done, threads as u64 * groups, "exactly once");
+        assert_eq!(m.blocks_done, threads as u64 * groups);
+        assert_eq!(m.recoveries.len(), 1);
+        assert_eq!(m.epochs.len(), 2, "one crash splits the run in two");
+        let r = &m.recoveries[0];
+        assert_eq!(r.crashed_targets, vec![1]);
+        assert!(r.power_fail);
+        assert_eq!(r.crashed_at, crash_at);
+        assert!(r.resumed_at > r.crashed_at, "recovery takes time");
+        assert!(r.records_scanned > 0, "mid-flight work left records");
+        let requeued: u64 = r.streams.iter().map(|s| s.requeued).sum();
+        assert!(requeued > 0, "a mid-flight crash must roll back work");
+        assert!(
+            m.finished_at > r.resumed_at,
+            "the workload resumed to the configured end"
+        );
+        // PLP drives: the valid prefix covers everything the app saw
+        // complete — no acknowledged group is ever rolled back.
+        for s in &r.streams {
+            assert!(s.valid_through >= s.delivered_through);
+        }
+        assert_eq!(
+            m.epochs[0].groups_done + m.epochs[1].groups_done,
+            m.groups_done,
+            "epochs partition the run"
+        );
+        assert_eq!(m, run(), "same seed replays byte-identically");
+    }
+
+    #[test]
+    fn nic_reset_fault_recovers_without_power_loss() {
+        let threads = 2usize;
+        let groups = 400u64;
+        let baseline = Cluster::new(
+            two_target_cfg(threads),
+            Workload::random_4k(threads, groups),
+        )
+        .run();
+        let mut cfg = two_target_cfg(threads);
+        cfg.faults = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_nanos(baseline.finished_at.as_nanos() / 2),
+                kind: FaultKind::NicReset { target: 0 },
+                resume: true,
+            }],
+        };
+        let m = Cluster::new(cfg, Workload::random_4k(threads, groups)).run();
+        assert_eq!(m.groups_done, threads as u64 * groups);
+        assert_eq!(m.recoveries.len(), 1);
+        assert!(!m.recoveries[0].power_fail, "link flap, not power failure");
+        assert_eq!(m.recoveries[0].crashed_targets, vec![0]);
+    }
+
+    #[test]
+    fn a_run_survives_multiple_faults() {
+        let threads = 2usize;
+        let groups = 900u64;
+        let baseline = Cluster::new(
+            two_target_cfg(threads),
+            Workload::random_4k(threads, groups),
+        )
+        .run();
+        let span = baseline.finished_at.as_nanos();
+        let mut cfg = two_target_cfg(threads);
+        cfg.faults = FaultPlan {
+            events: vec![
+                FaultEvent {
+                    at: SimTime::from_nanos(span / 3),
+                    kind: FaultKind::PowerFail { targets: vec![0] },
+                    resume: true,
+                },
+                FaultEvent {
+                    at: SimTime::from_nanos(2 * span / 3),
+                    kind: FaultKind::PowerFail {
+                        targets: Vec::new(),
+                    },
+                    resume: true,
+                },
+            ],
+        };
+        let m = Cluster::new(cfg, Workload::random_4k(threads, groups)).run();
+        assert_eq!(m.groups_done, threads as u64 * groups, "exactly once");
+        assert_eq!(m.recoveries.len(), 2);
+        assert_eq!(m.epochs.len(), 3);
+        assert_eq!(m.recoveries[1].crashed_targets, vec![0, 1]);
+        assert_eq!(
+            m.epochs.iter().map(|e| e.groups_done).sum::<u64>(),
+            m.groups_done
+        );
+    }
+
+    #[test]
+    fn crash_during_fsync_ops_preserves_op_count() {
+        let threads = 2usize;
+        let ops = 60u64;
+        let baseline = Cluster::new(
+            two_target_cfg(threads),
+            Workload::fsync_append(threads, ops),
+        )
+        .run();
+        let mut cfg = two_target_cfg(threads);
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(
+            SimTime::from_nanos(baseline.finished_at.as_nanos() / 2),
+            vec![1],
+        );
+        let m = Cluster::new(cfg, Workload::fsync_append(threads, ops)).run();
+        assert_eq!(m.ops_done, threads as u64 * ops, "every fsync returns once");
+        assert_eq!(m.groups_done, threads as u64 * ops * 3, "D/JM/JC each once");
+    }
+
+    #[test]
+    #[should_panic(expected = "fault injection requires a Rio mode")]
+    fn fault_plan_rejected_outside_rio() {
+        let mut cfg = two_target_cfg(2);
+        cfg.mode = OrderingMode::Orderless;
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(1_000), vec![0]);
+        let _ = Cluster::new(cfg, Workload::random_4k(2, 10));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Crash-under-loss: a random target subset power-fails at a
+        /// random mid-flight instant with loss in [0, 1e-2) over 1, 2
+        /// or 4 paths. Afterwards every fsync'ed group is exactly-once
+        /// (each op returns once, each of its groups completes once),
+        /// and on these PLP drives the valid prefix always covers the
+        /// acknowledged prefix — an acked group is either fully durable
+        /// in storage order or was never acked and re-executes.
+        #[test]
+        fn prop_crash_under_loss_exactly_once(
+            loss in 0.0f64..0.01,
+            paths_sel in 0usize..3,
+            subset in 1usize..4,
+            frac in 0.2f64..0.8,
+            seed in any::<u64>(),
+        ) {
+            let paths = [1usize, 2, 4][paths_sel];
+            let threads = 2usize;
+            let ops = 40u64;
+            let mut cfg = two_target_cfg(threads);
+            cfg.seed = seed;
+            cfg.net = FabricConfig::lossy(loss, paths);
+            let baseline =
+                Cluster::new(cfg.clone(), Workload::fsync_append(threads, ops)).run();
+            let crash_at =
+                SimTime::from_nanos((baseline.finished_at.as_nanos() as f64 * frac) as u64);
+            let targets: Vec<usize> = (0..2).filter(|t| subset & (1 << t) != 0).collect();
+            let mut crashing = cfg.clone();
+            crashing.faults = FaultPlan::survivable_crash(crash_at, targets.clone());
+            let m = Cluster::new(crashing, Workload::fsync_append(threads, ops)).run();
+
+            prop_assert_eq!(m.ops_done, threads as u64 * ops, "fsyncs exactly once");
+            prop_assert_eq!(m.groups_done, baseline.groups_done, "groups exactly once");
+            prop_assert_eq!(m.blocks_done, baseline.blocks_done);
+            prop_assert_eq!(m.recoveries.len(), 1);
+            let r = &m.recoveries[0];
+            prop_assert_eq!(&r.crashed_targets, &targets);
+            for s in &r.streams {
+                prop_assert!(
+                    s.valid_through >= s.delivered_through,
+                    "PLP: acked prefix {:?} beyond valid prefix {:?}",
+                    s.delivered_through, s.valid_through
+                );
+            }
+            for sp in &r.plan.streams {
+                prop_assert!(sp.valid_through >= sp.resume_head);
             }
         }
     }

@@ -1,6 +1,8 @@
-//! Cluster configuration: topology, ordering mode, CPU cost model.
+//! Cluster configuration: topology, ordering mode, CPU cost model,
+//! and the fault-injection plan.
 
 use rio_net::FabricProfile;
+use rio_sim::SimTime;
 use rio_ssd::SsdProfile;
 
 /// Which ordering engine drives the stack (§6.2's compared systems).
@@ -98,6 +100,110 @@ impl FabricConfig {
             p = p.with_paths(self.paths, self.path_latency_spread);
         }
         p
+    }
+}
+
+/// What one injected fault physically destroys.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Power failure on the listed targets: volatile SSD caches,
+    /// device queues and NIC windows die; media and PMR survive. An
+    /// empty list crashes every target (the classic §6.5 experiment).
+    PowerFail {
+        /// Target indices to crash (empty = all).
+        targets: Vec<usize>,
+    },
+    /// A link flap on one target's NIC. No target loses power — SSD
+    /// caches and accepted commands survive and complete — but the
+    /// initiator's in-flight ordering state is severed, and the §4.4
+    /// recovery protocol is initiator-driven and global: every
+    /// connection re-establishes and every stream re-cuts at its valid
+    /// prefix. `target` records which link flapped (reported in
+    /// [`crate::metrics::RecoveryMetrics::crashed_targets`]); the
+    /// recovery cost is the same whichever NIC it was, and far below a
+    /// power failure's, because every driver answers the scan from
+    /// DRAM instead of an MMIO PMR sweep.
+    NicReset {
+        /// The target whose NIC resets.
+        target: usize,
+    },
+}
+
+impl FaultKind {
+    /// The targets this fault hits, resolved against `n_targets`.
+    pub fn hit_targets(&self, n_targets: usize) -> Vec<usize> {
+        match self {
+            FaultKind::PowerFail { targets } if targets.is_empty() => (0..n_targets).collect(),
+            FaultKind::PowerFail { targets } => targets.clone(),
+            FaultKind::NicReset { target } => vec![*target],
+        }
+    }
+
+    /// Whether SSD state dies with this fault.
+    pub fn is_power_fail(&self) -> bool {
+        matches!(self, FaultKind::PowerFail { .. })
+    }
+}
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Virtual time the fault fires — even if the workload has already
+    /// completed by then (an idle cluster crashes too, and the epoch
+    /// that ends at the fault includes the idle stretch).
+    pub at: SimTime,
+    /// What the fault destroys.
+    pub kind: FaultKind,
+    /// Whether the run resumes after recovery. `true` re-queues every
+    /// rolled-back group and drives the workload to completion (a
+    /// survivable run); `false` halts after the recovery plan and
+    /// discards are applied (the one-shot §6.5 report shape).
+    pub resume: bool,
+}
+
+/// The fault-injection plan of a run: faults fire in order at their
+/// virtual times, each followed by a full in-loop recovery (PMR scan,
+/// global merge, discard) before the workload resumes.
+///
+/// Only Rio modes can carry a non-empty plan — recovery needs the
+/// persisted ordering attributes. A fault scheduled inside an earlier
+/// fault's recovery window is deferred to that recovery's resume
+/// instant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The faults, in strictly increasing time order.
+    pub events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// No faults (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// The classic §6.5 shape: power-fail every target at `at` and stop
+    /// after recovery.
+    pub fn crash_all_at(at: SimTime) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent {
+                at,
+                kind: FaultKind::PowerFail {
+                    targets: Vec::new(),
+                },
+                resume: false,
+            }],
+        }
+    }
+
+    /// A survivable mid-flight crash of a target subset at `at`.
+    pub fn survivable_crash(at: SimTime, targets: Vec<usize>) -> Self {
+        FaultPlan {
+            events: vec![FaultEvent {
+                at,
+                kind: FaultKind::PowerFail { targets },
+                resume: true,
+            }],
+        }
     }
 }
 
@@ -204,6 +310,9 @@ pub struct ClusterConfig {
     /// Disabling it scatters commands across queue pairs — an ablation
     /// that shows the gate absorbing network reordering.
     pub pin_stream_to_qp: bool,
+    /// Fault-injection plan (empty = no faults). Requires a Rio mode
+    /// when non-empty.
+    pub faults: FaultPlan,
 }
 
 impl ClusterConfig {
@@ -226,6 +335,7 @@ impl ClusterConfig {
             max_inflight_per_stream: 48,
             plug_merge: true,
             pin_stream_to_qp: true,
+            faults: FaultPlan::none(),
         }
     }
 
@@ -254,6 +364,7 @@ impl ClusterConfig {
             max_inflight_per_stream: 48,
             plug_merge: true,
             pin_stream_to_qp: true,
+            faults: FaultPlan::none(),
         }
     }
 

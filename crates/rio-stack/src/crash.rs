@@ -1,5 +1,15 @@
 //! Crash injection and the §6.5 recovery-time experiment.
 //!
+//! Fault injection itself lives inside the event loop: a
+//! [`crate::config::FaultPlan`] on the cluster configuration crashes
+//! arbitrary target subsets (or single NICs) at arbitrary virtual
+//! times — including while retransmissions are in flight — and the
+//! cluster runs PMR scan + global merge + discard in place, then
+//! resumes the workload in a fresh epoch (see
+//! [`crate::metrics::RecoveryMetrics`]). This module keeps the §6.5
+//! cost model's constants and the classic one-shot experiment driver,
+//! now a thin wrapper over that subsystem.
+//!
 //! The experiment: 36 threads issue 4 KB ordered writes continuously;
 //! a fault crashes the target servers mid-flight; after reconnecting,
 //! the initiator (1) rebuilds the global order from the PMR logs and
@@ -20,16 +30,24 @@
 //!   and each server").
 
 use rio_order::attr::{Seq, StreamId};
-use rio_order::pmrlog::PmrLog;
-use rio_order::recovery::{RecoveryInput, RecoveryMode, RecoveryPlan, ServerScan};
+use rio_order::recovery::RecoveryPlan;
 use rio_sim::{SimDuration, SimTime};
 
 use crate::cluster::Cluster;
-use crate::config::{ClusterConfig, OrderingMode};
+use crate::config::{ClusterConfig, FaultPlan, OrderingMode};
+use crate::metrics::RecoveryMetrics;
 use crate::workload::Workload;
 
-/// Cost of one 32 B MMIO read while scanning the PMR (µs).
+/// Cost of one 32 B MMIO read while scanning the PMR (µs). Paid only
+/// by power-failed targets, whose driver state died with them.
 pub const PMR_SCAN_US_PER_SLOT: f64 = 0.8;
+
+/// Cost of reading one live record from an *alive* target driver's
+/// in-memory log mirror (µs). A target that kept power never rescans
+/// its PMR over MMIO — the driver still knows its live slots and ships
+/// them from DRAM, which is why a NIC flap recovers orders of
+/// magnitude faster than a power failure.
+pub const DRAM_SCAN_US_PER_RECORD: f64 = 0.05;
 
 /// CPU cost of merging one scanned record into the global list (ns).
 pub const MERGE_NS_PER_RECORD: u64 = 350;
@@ -58,13 +76,38 @@ pub struct RecoveryReport {
     pub plan: RecoveryPlan,
 }
 
+impl RecoveryReport {
+    /// Builds the classic §6.5 report shape from one in-run recovery
+    /// breakdown.
+    pub fn from_recovery(r: &RecoveryMetrics) -> Self {
+        RecoveryReport {
+            crashed_at: r.crashed_at,
+            order_rebuild: r.order_rebuild,
+            data_recovery: r.data_recovery,
+            records_scanned: r.records_scanned,
+            discards: r.discards,
+            valid_through: r
+                .plan
+                .streams
+                .iter()
+                .map(|s| (s.stream, s.valid_through))
+                .collect(),
+            plan: r.plan.clone(),
+        }
+    }
+}
+
 /// Runs the §6.5 experiment: drive `workload` under Rio, crash all
-/// targets at `crash_at`, then recover and time both phases.
+/// targets at `crash_at` (even if the workload finishes first — the
+/// idle cluster crashes too), recover, and time both phases. The run
+/// halts after recovery — use a [`FaultPlan`] with `resume: true`
+/// directly for a survivable run.
 ///
 /// # Panics
 ///
 /// Panics if the configuration is not a Rio mode (only Rio persists
-/// ordering attributes to recover from).
+/// ordering attributes to recover from) or already carries a fault
+/// plan of its own.
 pub fn run_crash_recovery(
     cfg: ClusterConfig,
     workload: Workload,
@@ -74,99 +117,18 @@ pub fn run_crash_recovery(
         matches!(cfg.mode, OrderingMode::Rio { .. }),
         "crash recovery experiment requires Rio mode"
     );
-    let fabric_bw = cfg.fabric.bandwidth;
-    let one_way_us = cfg.fabric.one_way_latency_us;
-    let mut cluster = Cluster::new(cfg, workload);
-    cluster.start();
-    let reached = cluster.run_until(crash_at);
-    cluster.clear_events();
-
-    // Power failure on every target: volatile caches and in-flight
-    // commands are lost; media and PMR survive.
-    let n_targets = cluster.n_targets();
-    for t in 0..n_targets {
-        for ssd in cluster.target_ssds_mut(t) {
-            ssd.crash(reached);
-        }
-    }
-
-    // ---- Phase 1: rebuild the global order --------------------------------
-    // Each target scans its PMR in parallel (MMIO-bound), ships the
-    // records, and the initiator merges.
-    let mut scans = Vec::new();
-    let mut phase1_per_target = Vec::new();
-    let mut records_total = 0usize;
-    for t in 0..n_targets {
-        let plp = cluster.target_ssds(t)[0].profile().plp;
-        let pmr = cluster.target_ssds(t)[0].pmr();
-        let outcome = PmrLog::scan(pmr.contents()).expect("formatted PMR");
-        let slots = pmr.len() / 32;
-        let scan_time = SimDuration::from_micros_f64(slots as f64 * PMR_SCAN_US_PER_SLOT);
-        // Ship the raw region to the initiator in one transfer.
-        let wire =
-            SimDuration::from_micros_f64(pmr.len() as f64 / fabric_bw * 1e6 + 2.0 * one_way_us);
-        phase1_per_target.push(scan_time + wire);
-        records_total += outcome.records.len();
-        scans.push(ServerScan {
-            server: rio_order::attr::ServerId(t as u16),
-            plp,
-            head_seqs: outcome.head_seqs,
-            records: outcome.records,
-        });
-    }
-    // Targets scan in parallel; the initiator merge is serial CPU work.
-    let scan_parallel = phase1_per_target
-        .iter()
-        .copied()
-        .max()
-        .unwrap_or(SimDuration::ZERO);
-    let merge_cpu = SimDuration::from_nanos(MERGE_NS_PER_RECORD * records_total as u64);
-    let order_rebuild = scan_parallel + merge_cpu;
-
-    let plan = RecoveryPlan::compute(&RecoveryInput {
-        scans,
-        mode: RecoveryMode::InitiatorRestart,
-    });
-
-    // ---- Phase 2: discard out-of-order blocks -----------------------------
-    // Discards are issued per (server, ssd) concurrently; within one
-    // SSD they serialize at DISCARD_US plus the wire round trip once.
-    let mut per_ssd_counts: std::collections::HashMap<(usize, usize), usize> =
-        std::collections::HashMap::new();
-    let mut discards = 0usize;
-    for sp in &plan.streams {
-        for d in &sp.discard {
-            discards += 1;
-            *per_ssd_counts
-                .entry((d.server.0 as usize, d.ssd as usize))
-                .or_insert(0) += 1;
-            // Apply the erase to the device model so post-recovery
-            // state checks see rolled-back media.
-            let ssd = &mut cluster.target_ssds_mut(d.server.0 as usize)[d.ssd as usize];
-            ssd.submit_discard(reached, d.range.lba, d.range.blocks);
-        }
-    }
-    let data_recovery = per_ssd_counts
-        .values()
-        .map(|&n| SimDuration::from_micros_f64(n as f64 * DISCARD_US + 2.0 * one_way_us))
-        .max()
-        .unwrap_or(SimDuration::ZERO);
-
-    let valid_through = plan
-        .streams
-        .iter()
-        .map(|s| (s.stream, s.valid_through))
-        .collect();
-
-    RecoveryReport {
-        crashed_at: reached,
-        order_rebuild,
-        data_recovery,
-        records_scanned: records_total,
-        discards,
-        valid_through,
-        plan,
-    }
+    assert!(
+        cfg.faults.events.is_empty(),
+        "run_crash_recovery injects its own fault plan"
+    );
+    let mut cfg = cfg;
+    cfg.faults = FaultPlan::crash_all_at(crash_at);
+    let metrics = Cluster::new(cfg, workload).run();
+    let recovery = metrics
+        .recoveries
+        .first()
+        .expect("the scheduled crash fired");
+    RecoveryReport::from_recovery(recovery)
 }
 
 #[cfg(test)]
@@ -200,6 +162,7 @@ mod tests {
             max_inflight_per_stream: 16,
             plug_merge: true,
             pin_stream_to_qp: true,
+            faults: FaultPlan::none(),
         }
     }
 

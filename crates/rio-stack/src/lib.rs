@@ -19,8 +19,15 @@
 //!
 //! The simulation charges CPU costs per software step to per-core FIFO
 //! resources, so throughput *and* CPU efficiency (throughput ÷
-//! utilisation, §6.1) come out of the same run. Crash injection and the
-//! recovery driver for §6.5 live in [`crash`].
+//! utilisation, §6.1) come out of the same run.
+//!
+//! Fault injection is first-class: a [`config::FaultPlan`] crashes
+//! arbitrary target subsets (or single NICs) at arbitrary virtual
+//! times — composing with the lossy multi-path fabric — and the
+//! cluster recovers *inside* the event loop (PMR scan, global merge,
+//! discard) and resumes the workload, reporting per-epoch throughput
+//! and recovery breakdowns in [`metrics::RunMetrics`]. The classic
+//! one-shot §6.5 driver lives in [`crash`] as a thin wrapper.
 
 #![deny(missing_docs)]
 
@@ -32,6 +39,9 @@ pub mod metrics;
 pub mod workload;
 
 pub use cluster::Cluster;
-pub use config::{ClusterConfig, CpuCosts, FabricConfig, OrderingMode, TargetConfig};
-pub use metrics::{NetMetrics, RunMetrics};
+pub use config::{
+    ClusterConfig, CpuCosts, FabricConfig, FaultEvent, FaultKind, FaultPlan, OrderingMode,
+    TargetConfig,
+};
+pub use metrics::{EpochMetrics, NetMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
 pub use workload::Workload;
