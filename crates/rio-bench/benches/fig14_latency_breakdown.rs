@@ -1,4 +1,6 @@
-//! Figure 14: fsync latency breakdown (single thread).
+//! Figure 14: fsync latency breakdown (single thread), plus the
+//! per-command stage breakdown the `StageTrace` subsystem records for
+//! *any* cluster configuration.
 //!
 //! One append + fsync is three dispatches (D user data, JM journaled
 //! metadata, JC commit record) plus the I/O wait. The paper's table:
@@ -10,13 +12,21 @@
 //!
 //! (nanoseconds). HoraeFS pays a synchronous control-path round trip
 //! before each of JM and JC; RioFS dispatches them back to back.
+//!
+//! The second half renders the fig. 14-style *stage* breakdown from
+//! [`rio_stack::LatencyBreakdown`] — where each microsecond of a
+//! command goes (dispatch, network, gate, PMR, media, completion,
+//! in-order delivery) with deterministic p50/p99/p999 per stage — for
+//! three fabrics: lossless, 1% loss, and a survivable crash mid-run.
 
 use rio_bench::{header, row, run};
+use rio_sim::SimTime;
 use rio_ssd::SsdProfile;
-use rio_stack::{ClusterConfig, OrderingMode, Workload};
+use rio_stack::{
+    ClusterConfig, FabricConfig, FaultPlan, LatencyBreakdown, OrderingMode, TraceConfig, Workload,
+};
 
-fn main() {
-    println!("Reproduction of paper Figure 14 (fsync latency breakdown, ns).");
+fn paper_table() {
     header("Figure 14: 1 thread, append + fsync on remote Optane");
     row(
         "system",
@@ -58,5 +68,84 @@ fn main() {
                 .map(|v| format!("{v:.0}"))
                 .collect::<Vec<_>>(),
         );
+    }
+}
+
+fn stage_table(b: &LatencyBreakdown) {
+    row(
+        "stage",
+        &["p50 ns", "p99 ns", "p999 ns"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
+    );
+    for (seg, label) in LatencyBreakdown::SEGMENT_LABELS.iter().enumerate() {
+        if b.stages[seg].count() == 0 {
+            continue;
+        }
+        let (p50, p99, p999) = b.segment_quantiles(seg);
+        row(
+            label,
+            &[p50, p99, p999]
+                .iter()
+                .map(|d| format!("{}", d.as_nanos()))
+                .collect::<Vec<_>>(),
+        );
+    }
+    let (p50, p99, p999) = b.total_quantiles();
+    row(
+        "total",
+        &[p50, p99, p999]
+            .iter()
+            .map(|d| format!("{}", d.as_nanos()))
+            .collect::<Vec<_>>(),
+    );
+    println!(
+        "{:>16} completed={} aborted={} retx pkts={} completer held peak={}",
+        "", b.completed, b.aborted, b.retx_pkts, b.completer_held_peak
+    );
+}
+
+fn traced_config(loss: f64, crash: bool) -> ClusterConfig {
+    let mut cfg = if crash {
+        ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 3)
+    } else {
+        ClusterConfig::single_ssd(
+            OrderingMode::Rio { merge: true },
+            SsdProfile::optane905p(),
+            3,
+        )
+    };
+    cfg.initiator_cores = 8;
+    for t in &mut cfg.targets {
+        t.cores = 8;
+    }
+    cfg.qps_per_target = 8;
+    cfg.max_inflight_per_stream = 16;
+    if loss > 0.0 {
+        cfg.net = FabricConfig::lossy(loss, 2);
+    }
+    if crash {
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+    }
+    cfg.trace = Some(TraceConfig::default());
+    cfg
+}
+
+fn main() {
+    println!("Reproduction of paper Figure 14 (fsync latency breakdown, ns).");
+    paper_table();
+
+    println!();
+    println!("Per-command stage breakdown (StageTrace, RIO, 3 threads):");
+    for (title, loss, crash) in [
+        ("lossless fabric", 0.0, false),
+        ("1% loss, 2 paths", 0.01, false),
+        ("crash mid-run (1e-3 loss, survivable)", 1e-3, true),
+    ] {
+        header(title);
+        let m = run(traced_config(loss, crash), Workload::random_4k(3, 2_000));
+        let b = m.breakdown.as_ref().expect("tracing enabled");
+        stage_table(b);
     }
 }

@@ -1,12 +1,13 @@
 //! Simulation-engine throughput harness.
 //!
-//! Runs a fixed Fig. 10-style sweep (every ordering mode over the
-//! paper's cluster shapes) and records *host* wall-clock and simulator
-//! event throughput (events/sec) for each figure cell, writing the
-//! machine-readable trajectory to `BENCH_sim.json` at the repo root.
-//! The simulated workload is pinned — seeds, thread counts and group
-//! counts never vary — so the JSON tracks only how fast the engine
-//! itself executes, PR over PR.
+//! Runs the fixed Fig. 10-style sweep defined in [`rio_bench::sweep`]
+//! (every ordering mode over the paper's cluster shapes) and records
+//! *host* wall-clock and simulator event throughput (events/sec) for
+//! each figure cell, writing the machine-readable trajectory to
+//! `BENCH_sim.json` at the repo root. The simulated workload is pinned
+//! — seeds, thread counts and group counts never vary — so the JSON
+//! tracks only how fast the engine itself executes, PR over PR. The
+//! `bench_gate` binary compares a committed baseline against a re-run.
 //!
 //! Usage:
 //!
@@ -16,167 +17,7 @@
 //! cargo bench -p rio-bench --bench sim_engine -- --out /tmp/x.json
 //! ```
 
-use std::fmt::Write as _;
-use std::time::Instant;
-
-use rio_bench::all_modes;
-use rio_ssd::SsdProfile;
-use rio_stack::{Cluster, ClusterConfig, FabricConfig, OrderingMode, Workload};
-
-/// One measured figure cell.
-struct Cell {
-    figure: &'static str,
-    mode: &'static str,
-    threads: usize,
-    loss: f64,
-    paths: usize,
-    wall_secs: f64,
-    events: u64,
-    sim_span_secs: f64,
-    blocks_done: u64,
-}
-
-fn config(part: char, mode: OrderingMode, streams: usize) -> ClusterConfig {
-    match part {
-        'a' => ClusterConfig::single_ssd(mode, SsdProfile::pm981(), streams),
-        'b' => ClusterConfig::single_ssd(mode, SsdProfile::optane905p(), streams),
-        'd' => ClusterConfig::four_ssd_two_targets(mode, streams),
-        _ => unreachable!(),
-    }
-}
-
-fn run_cell(
-    figure: &'static str,
-    part: char,
-    mode: OrderingMode,
-    threads: usize,
-    groups: u64,
-) -> Cell {
-    let cfg = config(part, mode.clone(), threads);
-    measure(figure, mode, threads, 0.0, 1, cfg, groups)
-}
-
-fn run_lossy_cell(mode: OrderingMode, loss: f64, paths: usize, groups: u64) -> Cell {
-    let mut cfg = ClusterConfig::single_ssd(mode.clone(), SsdProfile::optane905p(), 4);
-    cfg.max_inflight_per_stream = 64;
-    cfg.net = FabricConfig::lossy(loss, paths);
-    measure("lossy_fabric", mode, 4, loss, paths, cfg, groups)
-}
-
-fn measure(
-    figure: &'static str,
-    mode: OrderingMode,
-    threads: usize,
-    loss: f64,
-    paths: usize,
-    cfg: ClusterConfig,
-    groups: u64,
-) -> Cell {
-    let wl = Workload::random_4k(threads, groups);
-    let started = Instant::now();
-    let m = Cluster::new(cfg, wl).run();
-    let wall_secs = started.elapsed().as_secs_f64();
-    Cell {
-        figure,
-        mode: mode.label(),
-        threads,
-        loss,
-        paths,
-        wall_secs,
-        events: m.events_processed,
-        sim_span_secs: m.span.as_secs_f64(),
-        blocks_done: m.blocks_done,
-    }
-}
-
-fn sweep(smoke: bool) -> Vec<Cell> {
-    // Fixed fig10-style grid: three cluster shapes x four modes x two
-    // thread counts. Linux runs synchronously (one group per round
-    // trip), so it gets proportionally fewer groups, exactly like the
-    // figure benches do.
-    let thread_axis: &[usize] = if smoke { &[2] } else { &[2, 8] };
-    let scale: u64 = if smoke { 10 } else { 1 };
-    let mut cells = Vec::new();
-    for &(figure, part, ssds) in &[
-        ("fig10a_flash", 'a', 1u64),
-        ("fig10b_optane", 'b', 1),
-        ("fig10d_4ssd", 'd', 4),
-    ] {
-        for mode in all_modes() {
-            for &threads in thread_axis {
-                let groups = match mode {
-                    OrderingMode::LinuxNvmf => 600 / scale,
-                    _ => (ssds * 120_000 / threads as u64).max(8_000) / scale,
-                };
-                cells.push(run_cell(figure, part, mode.clone(), threads, groups));
-            }
-        }
-    }
-    // Lossy-fabric cells: the fig_lossy_fabric sweep shape, so the
-    // trajectory also tracks how fast the engine runs retransmission
-    // and multi-path events.
-    let lossy_grid: &[(f64, usize)] = if smoke {
-        &[(1e-3, 2)]
-    } else {
-        &[(1e-3, 1), (1e-3, 4), (1e-2, 4)]
-    };
-    for &(loss, paths) in lossy_grid {
-        for mode in all_modes() {
-            let groups = match mode {
-                OrderingMode::LinuxNvmf => 600 / scale,
-                _ => 30_000 / scale,
-            };
-            cells.push(run_lossy_cell(mode, loss, paths, groups));
-        }
-    }
-    cells
-}
-
-fn json_escape_free(s: &str) -> &str {
-    // Labels are static identifiers without quotes or backslashes.
-    debug_assert!(!s.contains('"') && !s.contains('\\'));
-    s
-}
-
-fn render_json(cells: &[Cell], smoke: bool) -> String {
-    let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
-    let total_events: u64 = cells.iter().map(|c| c.events).sum();
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": 2,");
-    let _ = writeln!(out, "  \"harness\": \"sim_engine\",");
-    let _ = writeln!(out, "  \"smoke\": {smoke},");
-    let _ = writeln!(out, "  \"total_wall_secs\": {total_wall:.6},");
-    let _ = writeln!(out, "  \"total_events\": {total_events},");
-    let _ = writeln!(
-        out,
-        "  \"events_per_sec\": {:.0},",
-        total_events as f64 / total_wall.max(1e-12)
-    );
-    out.push_str("  \"figures\": [\n");
-    for (i, c) in cells.iter().enumerate() {
-        let _ = write!(
-            out,
-            "    {{\"figure\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
-             \"loss\": {}, \"paths\": {}, \
-             \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
-             \"sim_span_secs\": {:.6}, \"blocks_done\": {}}}",
-            json_escape_free(c.figure),
-            json_escape_free(c.mode),
-            c.threads,
-            c.loss,
-            c.paths,
-            c.wall_secs,
-            c.events,
-            c.events as f64 / c.wall_secs.max(1e-12),
-            c.sim_span_secs,
-            c.blocks_done,
-        );
-        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
-    }
-    out.push_str("  ]\n}\n");
-    out
-}
+use rio_bench::sweep::{calibrate, render_json, sweep};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -203,7 +44,7 @@ fn main() {
             c.threads,
             c.wall_secs,
             c.events,
-            c.events as f64 / c.wall_secs.max(1e-12),
+            c.events_per_sec(),
         );
     }
     let total_wall: f64 = cells.iter().map(|c| c.wall_secs).sum();
@@ -212,7 +53,11 @@ fn main() {
         "total: {total_wall:.3}s wall, {total_events} events, {:.0} events/sec",
         total_events as f64 / total_wall.max(1e-12)
     );
-    let json = render_json(&cells, smoke);
+    // Stamp the file with this machine's speed so the gate can compare
+    // runs taken on different (or differently-loaded) hosts.
+    let calib_secs = calibrate();
+    println!("machine calibration: {calib_secs:.4}s");
+    let json = render_json(&cells, smoke, calib_secs);
     // Cargo runs benches with the package dir as cwd, so a relative
     // --out like `target/BENCH_sim_smoke.json` points at a directory
     // that may not exist; create it instead of failing the smoke run.

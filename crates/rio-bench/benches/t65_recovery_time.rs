@@ -59,6 +59,7 @@ fn paper_cfg(seed: u64, threads: usize) -> ClusterConfig {
         plug_merge: true,
         pin_stream_to_qp: true,
         faults: Default::default(),
+        trace: None,
     }
 }
 
@@ -146,6 +147,7 @@ fn sweep_cfg(mode: OrderingMode, loss: f64, threads: usize) -> ClusterConfig {
         plug_merge: true,
         pin_stream_to_qp: true,
         faults: Default::default(),
+        trace: None,
     };
     cfg.net.migrate_every = 64;
     cfg

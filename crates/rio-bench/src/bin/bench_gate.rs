@@ -1,0 +1,227 @@
+//! Performance-regression gate over `BENCH_sim.json`.
+//!
+//! Loads the committed baseline and compares it against a current
+//! measurement of the same sweep grid, failing (exit 1) on a >10%
+//! events/s drop or a >15% deterministic group-p99 rise in any cell,
+//! with a per-cell report. Malformed or wrong-schema files exit 2.
+//!
+//! Usage:
+//!
+//! ```sh
+//! bench_gate                         # full re-run vs BENCH_sim.json
+//! bench_gate --smoke                 # CI: re-run the full-sized subset
+//! bench_gate --current run.json      # ingest an existing measurement
+//! bench_gate --baseline other.json   # compare against another baseline
+//! ```
+
+use rio_bench::gate::{compare, parse, GateOutcome};
+use rio_bench::sweep::{calibrate, run_spec, smoke_subset, specs, Cell};
+
+fn default_baseline() -> String {
+    // crates/rio-bench -> repo root.
+    format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn load(path: &str, role: &str) -> Result<rio_bench::gate::BenchFile, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {role} {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("{role} {path}: {e}"))
+}
+
+fn report(out: &GateOutcome) {
+    for v in &out.verdicts {
+        if v.failures.is_empty() {
+            println!("PASS {}", v.key);
+        } else {
+            println!("FAIL {}", v.key);
+            for f in &v.failures {
+                println!("     {f}");
+            }
+        }
+        for n in &v.notes {
+            println!("     note: {n}");
+        }
+    }
+    if !out.uncovered.is_empty() {
+        println!(
+            "({} baseline cells not covered by this run)",
+            out.uncovered.len()
+        );
+    }
+}
+
+fn real_main() -> i32 {
+    let args: Vec<String> = std::env::args().collect();
+    let flag_val = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let baseline_path = flag_val("--baseline").unwrap_or_else(default_baseline);
+    let current_path = flag_val("--current");
+
+    let baseline = match load(&baseline_path, "baseline") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            return 2;
+        }
+    };
+    if baseline.smoke {
+        eprintln!(
+            "bench_gate: baseline {baseline_path} was written by a --smoke sweep; \
+             commit a full `cargo bench -p rio-bench --bench sim_engine` run instead"
+        );
+        return 2;
+    }
+
+    // Current cells: ingest a file, or re-run the grid (the full grid,
+    // or in --smoke mode its CI-affordable full-sized subset). Either
+    // way the current machine's speed is measured (or read) so the
+    // events/s comparison is normalized — a slow or busy CI host must
+    // not read as an engine regression, and a fast host must not mask
+    // one.
+    let rerunning = current_path.is_none();
+    let (mut current, require_all, mut machine_factor): (Vec<Cell>, bool, f64) = match current_path
+    {
+        Some(path) => match load(&path, "current run") {
+            Ok(f) => {
+                let require_all = !f.smoke && !smoke;
+                (f.cells, require_all, f.calib_secs / baseline.calib_secs)
+            }
+            Err(e) => {
+                eprintln!("bench_gate: {e}");
+                return 2;
+            }
+        },
+        None => {
+            let calib_secs = calibrate();
+            let mut machine_factor = calib_secs / baseline.calib_secs;
+            let grid: Vec<_> = specs(false)
+                .into_iter()
+                .filter(|s| !smoke || smoke_subset(s))
+                .collect();
+            println!(
+                "bench_gate: re-running {} cell(s) ({}), machine factor {machine_factor:.3} \
+                 (calibration {calib_secs:.4}s vs baseline {:.4}s)",
+                grid.len(),
+                if smoke { "smoke subset" } else { "full grid" },
+                baseline.calib_secs
+            );
+            let cells: Vec<Cell> = grid
+                .iter()
+                .map(|s| {
+                    // Wall clock is the one noisy measurement (shared CI
+                    // machines stall runs; the simulation itself is
+                    // deterministic), and the noise is one-sided — so a
+                    // cell that looks slower than the baseline's gate
+                    // threshold is re-measured a few times and the
+                    // fastest run kept before calling it a regression.
+                    // Each re-measure also re-runs the calibration loop:
+                    // contention that develops mid-run slows the whole
+                    // host, and the factor must track it or the slowdown
+                    // reads as an engine regression. A real regression
+                    // does not move the calibration loop, so the factor
+                    // never excuses one.
+                    let mut c = run_spec(s);
+                    if let Some(base) = baseline.cells.iter().find(|b| b.key() == c.key()) {
+                        for _ in 0..3 {
+                            let floor = base.events_per_sec() / machine_factor.max(1e-9)
+                                * (1.0 - rio_bench::gate::MAX_EPS_DROP);
+                            if c.events_per_sec() >= floor {
+                                break;
+                            }
+                            let now = calibrate() / baseline.calib_secs;
+                            if now > machine_factor {
+                                println!("  (machine factor {machine_factor:.3} -> {now:.3})");
+                                machine_factor = now;
+                            }
+                            let retry = run_spec(s);
+                            if retry.events_per_sec() > c.events_per_sec() {
+                                c = retry;
+                            }
+                        }
+                    }
+                    println!(
+                        "  measured {:>14} {:>14} t={:<2} {:>9.3}s wall {:>12} events",
+                        c.figure, c.mode, c.threads, c.wall_secs, c.events
+                    );
+                    c
+                })
+                .collect();
+            (cells, !smoke, machine_factor)
+        }
+    };
+
+    let mut out = compare(&baseline.cells, &current, require_all, machine_factor);
+
+    // Transient host stalls hit neighboring measurements together, so a
+    // cell's in-place retries can all land in the same slow window. When
+    // re-running live, cells whose only failure is events/s get a
+    // decorrelated second look — re-measured after the rest of the
+    // sweep, tens of seconds away from the window that slowed them.
+    // Deterministic failures (p99, shape, missing cells) are never
+    // retried.
+    if rerunning {
+        for _ in 0..2 {
+            if !out.failed() {
+                break;
+            }
+            let eps_only: Vec<String> = out
+                .verdicts
+                .iter()
+                .filter(|v| {
+                    !v.failures.is_empty()
+                        && v.failures.iter().all(|f| f.starts_with("events/s"))
+                })
+                .map(|v| v.key.clone())
+                .collect();
+            if eps_only.is_empty() {
+                break;
+            }
+            println!(
+                "bench_gate: re-measuring {} cell(s) outside the slow window",
+                eps_only.len()
+            );
+            machine_factor = machine_factor.max(calibrate() / baseline.calib_secs);
+            for s in specs(false) {
+                let probe = Cell {
+                    figure: s.figure.to_string(),
+                    mode: s.mode.label().to_string(),
+                    threads: s.threads,
+                    loss: s.loss,
+                    paths: s.paths,
+                    wall_secs: 1.0,
+                    events: 0,
+                    sim_span_secs: 0.0,
+                    blocks_done: 0,
+                    groups: 0,
+                    group_p99_us: 0.0,
+                };
+                if !eps_only.contains(&probe.key_label()) {
+                    continue;
+                }
+                let retry = run_spec(&s);
+                if let Some(c) = current.iter_mut().find(|c| c.key() == retry.key()) {
+                    if retry.events_per_sec() > c.events_per_sec() {
+                        *c = retry;
+                    }
+                }
+            }
+            out = compare(&baseline.cells, &current, require_all, machine_factor);
+        }
+    }
+    report(&out);
+    if out.failed() {
+        println!("bench_gate: FAIL — performance regressed beyond tolerance");
+        1
+    } else {
+        println!("bench_gate: PASS ({} cells compared)", out.verdicts.len());
+        0
+    }
+}
+
+fn main() {
+    std::process::exit(real_main());
+}

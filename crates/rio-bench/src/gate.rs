@@ -1,0 +1,384 @@
+//! The `BENCH_sim.json` regression gate.
+//!
+//! Loads the committed baseline, obtains a current measurement of the
+//! same grid (re-run or ingested), and fails with a per-cell report
+//! when the engine got slower: a >10% drop in wall-clock events/s or a
+//! >15% rise in the deterministic virtual-time group p99. Drift in the
+//! deterministic event count is reported as a warning — it means the
+//! engine's *behavior* changed and the baseline should be regenerated
+//! deliberately, but it is not by itself a performance regression.
+//!
+//! The parser is a purpose-built scanner for the flat document
+//! [`crate::sweep::render_json`] writes (the build vendors no JSON
+//! dependency); it tolerates whitespace and field reordering but not
+//! nested objects inside cells.
+
+use crate::sweep::{Cell, SCHEMA};
+
+/// Maximum tolerated drop in events per wall-clock second.
+pub const MAX_EPS_DROP: f64 = 0.10;
+
+/// Maximum tolerated rise in the deterministic group p99.
+pub const MAX_P99_RISE: f64 = 0.15;
+
+/// A parsed `BENCH_sim.json` document.
+#[derive(Debug, Clone)]
+pub struct BenchFile {
+    /// Schema version (always [`SCHEMA`]; older files are rejected).
+    pub schema: u64,
+    /// Whether the file was written by a `--smoke` (scaled-down) sweep.
+    pub smoke: bool,
+    /// Wall seconds of the fixed CPU calibration loop
+    /// ([`crate::sweep::calibrate`]) on the machine that wrote the file.
+    pub calib_secs: f64,
+    /// The measured cells.
+    pub cells: Vec<Cell>,
+}
+
+/// One `"key": value` pair scanned out of a JSON object body.
+fn next_pair(s: &str) -> Option<(String, String, &str)> {
+    let start = s.find('"')? + 1;
+    let rest = &s[start..];
+    let key_end = rest.find('"')?;
+    let key = rest[..key_end].to_string();
+    let rest = rest[key_end + 1..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    if let Some(body) = rest.strip_prefix('"') {
+        let val_end = body.find('"')?;
+        Some((key, body[..val_end].to_string(), &body[val_end + 1..]))
+    } else {
+        let val_end = rest
+            .find([',', '}', '\n'])
+            .unwrap_or(rest.len());
+        Some((key, rest[..val_end].trim().to_string(), &rest[val_end..]))
+    }
+}
+
+/// All pairs of one flat JSON object body.
+fn object_pairs(mut s: &str) -> Vec<(String, String)> {
+    let mut pairs = Vec::new();
+    while let Some((k, v, rest)) = next_pair(s) {
+        pairs.push((k, v));
+        s = rest;
+    }
+    pairs
+}
+
+fn lookup<'a>(pairs: &'a [(String, String)], key: &str, ctx: &str) -> Result<&'a str, String> {
+    pairs
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| format!("missing field \"{key}\" in {ctx}"))
+}
+
+fn parse_u64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<u64, String> {
+    let v = lookup(pairs, key, ctx)?;
+    v.parse()
+        .map_err(|_| format!("field \"{key}\" in {ctx} is not an integer: {v:?}"))
+}
+
+fn parse_f64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<f64, String> {
+    let v = lookup(pairs, key, ctx)?;
+    v.parse()
+        .map_err(|_| format!("field \"{key}\" in {ctx} is not a number: {v:?}"))
+}
+
+fn parse_usize(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<usize, String> {
+    Ok(parse_u64(pairs, key, ctx)? as usize)
+}
+
+/// Parses a `BENCH_sim.json` document, rejecting unknown schemas.
+pub fn parse(json: &str) -> Result<BenchFile, String> {
+    let (head, figures) = json
+        .split_once("\"figures\"")
+        .ok_or("no \"figures\" array in document")?;
+    let head_pairs = object_pairs(head);
+    let schema = parse_u64(&head_pairs, "schema", "document header")?;
+    if schema != SCHEMA {
+        return Err(format!(
+            "schema mismatch: file has schema {schema}, this gate reads schema {SCHEMA} \
+             (regenerate the baseline with `cargo bench -p rio-bench --bench sim_engine`)"
+        ));
+    }
+    let smoke = lookup(&head_pairs, "smoke", "document header")? == "true";
+    let calib_secs = parse_f64(&head_pairs, "calib_secs", "document header")?;
+    if !(calib_secs > 0.0) {
+        return Err(format!("calib_secs must be positive, got {calib_secs}"));
+    }
+    let figures = figures
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or("malformed \"figures\" array")?
+        .trim_start()
+        .strip_prefix('[')
+        .ok_or("malformed \"figures\" array")?;
+
+    let mut cells = Vec::new();
+    let mut rest = figures;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or("unterminated cell object in \"figures\"")?;
+        let body = &rest[open + 1..open + close];
+        let pairs = object_pairs(body);
+        let ctx = format!("cell {}", cells.len());
+        cells.push(Cell {
+            figure: lookup(&pairs, "figure", &ctx)?.to_string(),
+            mode: lookup(&pairs, "mode", &ctx)?.to_string(),
+            threads: parse_usize(&pairs, "threads", &ctx)?,
+            loss: parse_f64(&pairs, "loss", &ctx)?,
+            paths: parse_usize(&pairs, "paths", &ctx)?,
+            wall_secs: parse_f64(&pairs, "wall_secs", &ctx)?,
+            events: parse_u64(&pairs, "events", &ctx)?,
+            sim_span_secs: parse_f64(&pairs, "sim_span_secs", &ctx)?,
+            blocks_done: parse_u64(&pairs, "blocks_done", &ctx)?,
+            groups: parse_u64(&pairs, "groups", &ctx)?,
+            group_p99_us: parse_f64(&pairs, "group_p99_us", &ctx)?,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    if cells.is_empty() {
+        return Err("no cells in \"figures\"".to_string());
+    }
+    Ok(BenchFile {
+        schema,
+        smoke,
+        calib_secs,
+        cells,
+    })
+}
+
+/// Verdict on one baseline cell.
+#[derive(Debug, Clone)]
+pub struct CellVerdict {
+    /// Human-readable cell identity.
+    pub key: String,
+    /// Hard failures (any non-empty entry fails the gate).
+    pub failures: Vec<String>,
+    /// Non-gating observations (event-count drift, improvements).
+    pub notes: Vec<String>,
+}
+
+/// The whole gate outcome.
+#[derive(Debug, Clone, Default)]
+pub struct GateOutcome {
+    /// One verdict per compared baseline cell.
+    pub verdicts: Vec<CellVerdict>,
+    /// Baseline cells the current measurement did not cover.
+    pub uncovered: Vec<String>,
+}
+
+impl GateOutcome {
+    /// Whether any compared cell regressed.
+    pub fn failed(&self) -> bool {
+        self.verdicts.iter().any(|v| !v.failures.is_empty())
+    }
+}
+
+/// Compares current cells against the baseline. Baseline cells absent
+/// from `current` are listed as uncovered; with `require_all` they fail
+/// the gate (a full run must cover the whole grid; a `--smoke` subset
+/// legitimately covers less).
+///
+/// `machine_factor` is current-machine calibration time over baseline
+/// calibration time (>1 = the current host is slower); the events/s
+/// check compares against the baseline scaled by it, so host speed
+/// differences don't masquerade as engine regressions. Pass 1.0 to
+/// compare raw.
+pub fn compare(
+    baseline: &[Cell],
+    current: &[Cell],
+    require_all: bool,
+    machine_factor: f64,
+) -> GateOutcome {
+    let machine_factor = if machine_factor.is_finite() && machine_factor > 0.0 {
+        machine_factor
+    } else {
+        1.0
+    };
+    let mut out = GateOutcome::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            out.uncovered.push(base.key_label());
+            if require_all {
+                out.verdicts.push(CellVerdict {
+                    key: base.key_label(),
+                    failures: vec!["cell missing from current run".to_string()],
+                    notes: Vec::new(),
+                });
+            }
+            continue;
+        };
+        let mut v = CellVerdict {
+            key: base.key_label(),
+            failures: Vec::new(),
+            notes: Vec::new(),
+        };
+        if cur.groups != base.groups {
+            // Different workload size: nothing below is comparable.
+            v.failures.push(format!(
+                "cell shape drift: {} groups vs baseline {} (was the baseline written by --smoke?)",
+                cur.groups, base.groups
+            ));
+            out.verdicts.push(v);
+            continue;
+        }
+        // The baseline machine may not be this machine: judge events/s
+        // against the baseline scaled to this machine's speed.
+        let (raw_base_eps, cur_eps) = (base.events_per_sec(), cur.events_per_sec());
+        let base_eps = raw_base_eps / machine_factor;
+        if cur_eps < base_eps * (1.0 - MAX_EPS_DROP) {
+            let scaled = if (machine_factor - 1.0).abs() > 1e-9 {
+                format!(" (raw baseline {raw_base_eps:.0} x machine factor {machine_factor:.3})")
+            } else {
+                String::new()
+            };
+            v.failures.push(format!(
+                "events/s regression: {cur_eps:.0} vs baseline {base_eps:.0}{scaled} \
+                 ({:+.1}%, tolerance -{:.0}%)",
+                (cur_eps / base_eps - 1.0) * 100.0,
+                MAX_EPS_DROP * 100.0
+            ));
+        }
+        if base.group_p99_us > 0.0 && cur.group_p99_us > base.group_p99_us * (1.0 + MAX_P99_RISE) {
+            v.failures.push(format!(
+                "group p99 regression: {:.1}us vs baseline {:.1}us ({:+.1}%, tolerance +{:.0}%)",
+                cur.group_p99_us,
+                base.group_p99_us,
+                (cur.group_p99_us / base.group_p99_us - 1.0) * 100.0,
+                MAX_P99_RISE * 100.0
+            ));
+        }
+        if cur.events != base.events {
+            v.notes.push(format!(
+                "event-count drift: {} vs baseline {} — engine behavior changed; \
+                 regenerate the baseline deliberately",
+                cur.events, base.events
+            ));
+        }
+        out.verdicts.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::render_json;
+
+    fn cell(figure: &str, mode: &str, wall: f64, events: u64, p99: f64) -> Cell {
+        Cell {
+            figure: figure.into(),
+            mode: mode.into(),
+            threads: 2,
+            loss: 0.0,
+            paths: 1,
+            wall_secs: wall,
+            events,
+            sim_span_secs: 0.2,
+            blocks_done: 1_000,
+            groups: 1_000,
+            group_p99_us: p99,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let cells = vec![
+            cell("fig10b_optane", "RIO", 0.2, 500_000, 45.5),
+            cell("fig10b_optane", "Linux", 0.001, 9_602, 20.25),
+        ];
+        let parsed = parse(&render_json(&cells, false, 0.0625)).expect("parse");
+        assert_eq!(parsed.schema, SCHEMA);
+        assert!(!parsed.smoke);
+        assert!((parsed.calib_secs - 0.0625).abs() < 1e-9);
+        assert_eq!(parsed.cells.len(), 2);
+        assert_eq!(parsed.cells[0].events, 500_000);
+        assert_eq!(parsed.cells[1].mode, "Linux");
+        assert!((parsed.cells[0].group_p99_us - 45.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn old_schema_is_rejected_with_guidance() {
+        let err = parse("{\n \"schema\": 2,\n \"figures\": [\n{\"figure\": \"x\"}\n]\n}")
+            .expect_err("schema 2 must be rejected");
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn thresholds_gate_regressions_only() {
+        let base = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0)];
+        // 9% slower and 14% worse p99: inside tolerance.
+        let ok = vec![cell("fig10b_optane", "RIO", 0.2 / 0.91, 500_000, 114.0)];
+        assert!(!compare(&base, &ok, true, 1.0).failed());
+        // 20% slower: events/s gate fires.
+        let slow = vec![cell("fig10b_optane", "RIO", 0.25, 500_000, 100.0)];
+        let out = compare(&base, &slow, true, 1.0);
+        assert!(out.failed());
+        assert!(out.verdicts[0].failures[0].contains("events/s"));
+        // 30% worse p99: tail gate fires.
+        let tail = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 130.0)];
+        let out = compare(&base, &tail, true, 1.0);
+        assert!(out.failed());
+        assert!(out.verdicts[0].failures[0].contains("p99"));
+        // Faster and tighter: improvements pass.
+        let better = vec![cell("fig10b_optane", "RIO", 0.1, 500_000, 50.0)];
+        assert!(!compare(&base, &better, true, 1.0).failed());
+    }
+
+    #[test]
+    fn machine_factor_rescales_the_events_per_sec_gate() {
+        let base = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0)];
+        // 25% slower wall clock: a raw comparison fails...
+        let slow = vec![cell("fig10b_optane", "RIO", 0.25, 500_000, 100.0)];
+        assert!(compare(&base, &slow, true, 1.0).failed());
+        // ...but if calibration says this machine is 25% slower, it passes.
+        assert!(!compare(&base, &slow, true, 1.25).failed());
+        // A real regression on top of the slow machine still fails:
+        // machine is 25% slower, but the run is 60% slower.
+        let worse = vec![cell("fig10b_optane", "RIO", 0.32, 500_000, 100.0)];
+        let out = compare(&base, &worse, true, 1.25);
+        assert!(out.failed());
+        assert!(out.verdicts[0].failures[0].contains("machine factor"));
+        // The factor never loosens the deterministic p99 gate.
+        let tail = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 130.0)];
+        assert!(compare(&base, &tail, true, 1.25).failed());
+        // Degenerate factors fall back to a raw comparison.
+        assert!(compare(&base, &slow, true, 0.0).failed());
+        assert!(compare(&base, &slow, true, f64::NAN).failed());
+    }
+
+    #[test]
+    fn event_drift_warns_but_does_not_fail() {
+        let base = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0)];
+        let drifted = vec![cell("fig10b_optane", "RIO", 0.2, 490_000, 100.0)];
+        let out = compare(&base, &drifted, true, 1.0);
+        assert!(!out.failed());
+        assert!(out.verdicts[0].notes[0].contains("drift"));
+    }
+
+    #[test]
+    fn missing_cells_fail_only_full_runs() {
+        let base = vec![
+            cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0),
+            cell("fig10b_optane", "Linux", 0.001, 9_602, 20.0),
+        ];
+        let partial = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0)];
+        assert!(compare(&base, &partial, true, 1.0).failed());
+        let out = compare(&base, &partial, false, 1.0);
+        assert!(!out.failed());
+        assert_eq!(out.uncovered.len(), 1);
+    }
+
+    #[test]
+    fn group_mismatch_is_incomparable() {
+        let base = vec![cell("fig10b_optane", "RIO", 0.2, 500_000, 100.0)];
+        let mut shrunk = base.clone();
+        shrunk[0].groups = 100;
+        let out = compare(&base, &shrunk, true, 1.0);
+        assert!(out.failed());
+        assert!(out.verdicts[0].failures[0].contains("shape drift"));
+    }
+}

@@ -8,6 +8,9 @@
 
 use rio_stack::{Cluster, ClusterConfig, OrderingMode, RunMetrics, Workload};
 
+pub mod gate;
+pub mod sweep;
+
 /// Standard mode list in paper legend order.
 pub fn all_modes() -> Vec<OrderingMode> {
     vec![

@@ -839,6 +839,50 @@ mod tests {
     }
 
     #[test]
+    fn multi_round_retransmits_count_windows_not_window_times_rounds() {
+        // A go-back-N resend retransmits only the window from the lost
+        // packet onward (`pkts_left`), never the whole message again.
+        // Scan seeds for a send needing >= 3 recovery rounds with at
+        // least one mid-window drop, then check the NIC retransmit
+        // counter equals the sum of the resumed windows — the same
+        // quantity the stage-trace layer annotates per command, so any
+        // double-count here would unbalance the trace/wire ledger.
+        let bytes = 64 * 1024; // 16 packets at the 4 KB MTU.
+        for seed in 0..1_000u64 {
+            let profile = FabricProfile::connectx6().with_loss(0.25, 10.0);
+            let mut f = Fabric::new(profile, seed);
+            let mut nic = Nic::new(1, f.profile().bandwidth);
+            let total = f.profile().packets_for(bytes);
+            assert!(total >= 8, "need a multi-packet message");
+            let mut step = f.send_burst(&mut nic, 0, SimTime::ZERO, bytes);
+            let mut windows: Vec<u32> = Vec::new();
+            while let XferStep::Dropped {
+                resume_at,
+                pkts_left,
+            } = step
+            {
+                assert!(pkts_left >= 1 && pkts_left <= total);
+                windows.push(pkts_left);
+                step = f.resume_send(&mut nic, 0, resume_at, pkts_left, bytes);
+            }
+            let rounds = windows.len() as u64;
+            if rounds < 3 || !windows.iter().any(|w| *w < total) {
+                continue;
+            }
+            let expected: u64 = windows.iter().map(|w| u64::from(*w)).sum();
+            assert_eq!(nic.stats().retransmits, expected, "seed {seed}");
+            assert_eq!(nic.stats().retx_rounds, rounds, "seed {seed}");
+            assert!(
+                nic.stats().retransmits < u64::from(total) * rounds,
+                "full-message resends every round would inflate the count (seed {seed})"
+            );
+            assert_eq!(nic.stats().retx_inflight, 0, "recovery settled (seed {seed})");
+            return;
+        }
+        panic!("no seed produced a 3-round retransmission with a mid-window drop");
+    }
+
+    #[test]
     #[should_panic(expected = "out of range")]
     fn bad_qp_rejected() {
         let mut f = fabric();

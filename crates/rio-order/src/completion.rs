@@ -141,6 +141,13 @@ impl InOrderCompleter {
         self.streams[stream.0 as usize].pending_count
     }
 
+    /// Total groups buffered but not yet deliverable, across every
+    /// stream — the completion-side buffering the ordering guarantee
+    /// costs at one instant (the stage-trace layer samples its peak).
+    pub fn total_pending(&self) -> usize {
+        self.streams.iter().map(|s| s.pending_count).sum()
+    }
+
     /// Records the internal completion of one logical request and
     /// returns the sequence numbers that become externally deliverable,
     /// in order.

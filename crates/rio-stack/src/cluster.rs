@@ -34,6 +34,7 @@ use crate::config::{ClusterConfig, OrderingMode};
 use crate::cpu::CoreSet;
 use crate::crash::{DISCARD_US, DRAM_SCAN_US_PER_RECORD, MERGE_NS_PER_RECORD, PMR_SCAN_US_PER_SLOT};
 use crate::metrics::{EpochMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
+use crate::trace::{Stage, StageTrace, TRACE_NONE};
 use crate::workload::{FsyncStage, GroupSpec, Workload};
 
 /// Simulation events.
@@ -109,6 +110,9 @@ struct Cmd {
     retx_bytes: u64,
     /// PMR log slot holding this command's ordering record.
     slot: Option<SlotRef>,
+    /// Stage-trace slot of this command ([`TRACE_NONE`] when tracing
+    /// is off; assigned by `send_cmd`).
+    trace: u32,
 }
 
 /// One logical dispatch unit: a (possibly merged) request whose
@@ -327,6 +331,8 @@ pub struct Cluster {
     group_latency: Histogram,
     op_latency: Histogram,
     stage_lat: [rio_sim::MeanAccum; 4],
+    /// Per-command stage recorder (`None` = tracing off, zero cost).
+    trace: Option<StageTrace>,
     last_completion: SimTime,
     /// Whether per-thread replay buffers are maintained (fault plans).
     track_replay: bool,
@@ -464,6 +470,7 @@ impl Cluster {
         // Pre-size the hot structures from the config: the event heap
         // and command/unit arenas track the global in-flight window.
         let inflight_hint = (cfg.streams * cfg.max_inflight_per_stream * 2).max(64);
+        let trace = cfg.trace.as_ref().map(|tc| StageTrace::new(tc, cfg.streams));
         Cluster {
             sequencer: Sequencer::new(cfg.streams, n_targets),
             completer: InOrderCompleter::with_window(
@@ -496,6 +503,7 @@ impl Cluster {
             group_latency: Histogram::new(),
             op_latency: Histogram::new(),
             stage_lat: Default::default(),
+            trace,
             last_completion: SimTime::ZERO,
             track_replay: !cfg.faults.events.is_empty(),
             fault_cursor: 0,
@@ -621,6 +629,7 @@ impl Cluster {
             recoveries: self.recoveries.clone(),
             epochs,
             finished_at: self.last_completion,
+            breakdown: self.trace.as_ref().map(StageTrace::finish),
         }
     }
 
@@ -855,12 +864,14 @@ impl Cluster {
             frag.range = ext.range;
             frag.ssd = ext.ssd as u8;
             self.sequencer.stamp_dispatch(frag, ext.server);
+            let stamped = cpu;
             cpu = self
                 .init_cores
                 .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
             let qp = self.pick_qp(self.threads[t].stream.0 as usize);
             self.send_cmd(
                 cpu,
+                stamped,
                 Cmd {
                     kind: CmdKind::Write,
                     thread: t,
@@ -877,6 +888,7 @@ impl Cluster {
                     retx_pkts: 0,
                     retx_bytes: 0,
                     slot: None,
+                    trace: TRACE_NONE,
                 },
             );
         }
@@ -997,12 +1009,14 @@ impl Cluster {
             submitted: cpu,
         });
         for ext in &extents {
+            let stamped = cpu;
             cpu = self
                 .init_cores
                 .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
             let qp = self.pick_qp(self.threads[t].stream.0 as usize);
             self.send_cmd(
                 cpu,
+                stamped,
                 Cmd {
                     kind: CmdKind::Write,
                     thread: t,
@@ -1019,6 +1033,7 @@ impl Cluster {
                     retx_pkts: 0,
                     retx_bytes: 0,
                     slot: None,
+                    trace: TRACE_NONE,
                 },
             );
         }
@@ -1252,9 +1267,31 @@ impl Cluster {
 
     /// Sends one command capsule over the fabric: either it arrives at
     /// the target (`CmdArrive`) or a packet drops and the go-back-N
-    /// timeout is scheduled as a `CmdResend` event.
-    fn send_cmd(&mut self, now: SimTime, cmd: Cmd) {
+    /// timeout is scheduled as a `CmdResend` event. `stamped` is the
+    /// instant the command was stamped/generated, before the post CPU
+    /// charge — the head of its stage trace.
+    fn send_cmd(&mut self, now: SimTime, stamped: SimTime, mut cmd: Cmd) {
         self.commands_sent += 1;
+        if let Some(tr) = &mut self.trace {
+            let stream = cmd
+                .attr
+                .map(|a| a.stream.0)
+                .unwrap_or(self.threads[cmd.thread].stream.0);
+            let tid = tr.open(
+                stream,
+                cmd.attr.map(|a| (a.seq_start.0, a.seq_end.0)),
+                cmd.target as u16,
+                cmd.ssd as u16,
+                cmd.phys.lba,
+                cmd.flush_embedded || cmd.kind == CmdKind::Flush,
+                stamped,
+                now,
+            );
+            if let Some(a) = &cmd.attr {
+                tr.pending_push(a.stream.0 as usize, a.seq_end.0, tid);
+            }
+            cmd.trace = tid;
+        }
         let qp = self.target_qp(cmd.target, cmd.qp);
         let id = self.cmds.insert(cmd);
         let step = self
@@ -1266,10 +1303,15 @@ impl Cluster {
     /// A command capsule's retransmission timeout fired: resend the
     /// window from the lost packet.
     fn on_cmd_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes) = {
+        let (target, qp, pkts, bytes, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
         };
+        if let Some(tr) = &mut self.trace {
+            // The whole remaining window goes back on the wire this
+            // round (go-back-N), each packet counted exactly once.
+            tr.retx(tid, pkts);
+        }
         let qp = self.target_qp(target, qp);
         let step = self
             .fabric
@@ -1279,10 +1321,19 @@ impl Cluster {
 
     /// A data pull's retransmission timeout fired: resend the window.
     fn on_data_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes) = {
+        let (target, qp, pkts, bytes, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
         };
+        if let Some(tr) = &mut self.trace {
+            // `pkts > packets_for(bytes)` encodes a lost pull *request*:
+            // this round retransmits only that one header packet — the
+            // data window, never transmitted, goes out as a first try
+            // and must not be annotated (it is not counted as a wire
+            // retransmission either).
+            let wire = self.fabric.profile().packets_for(bytes);
+            tr.retx(tid, if pkts > wire { 1 } else { pkts });
+        }
         let init_qp = self.target_qp(target, qp);
         match self.fabric.resume_pull(
             &mut self.targets[target].nic,
@@ -1305,10 +1356,13 @@ impl Cluster {
 
     /// A completion capsule's retransmission timeout fired.
     fn on_comp_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes) = {
+        let (target, qp, pkts, bytes, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes)
+            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
         };
+        if let Some(tr) = &mut self.trace {
+            tr.retx(tid, pkts);
+        }
         let step = self
             .fabric
             .resume_send(&mut self.targets[target].nic, qp, now, pkts, bytes);
@@ -1328,7 +1382,7 @@ impl Cluster {
     }
 
     fn on_cmd_arrive(&mut self, now: SimTime, id: u64) {
-        let (target_idx, qp, kind, bytes, attr, ssd_idx) = {
+        let (target_idx, qp, kind, bytes, attr, ssd_idx, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
@@ -1337,12 +1391,17 @@ impl Cluster {
                 cmd.phys.blocks as u64 * 4096,
                 cmd.attr,
                 cmd.ssd,
+                cmd.trace,
             )
         };
         let core = qp;
         let recv_done = self.targets[target_idx]
             .cores
             .run_on(core, now, self.cfg.cpu.target_recv);
+        if let Some(tr) = &mut self.trace {
+            tr.rec(tid, Stage::GateAdmit, recv_done);
+            tr.gate_depth(tid, self.targets[target_idx].gate.buffered() as u32);
+        }
 
         if kind == CmdKind::Flush {
             // Explicit FLUSH command (Linux mode): straight to the SSD.
@@ -1350,6 +1409,9 @@ impl Cluster {
                 self.targets[target_idx]
                     .cores
                     .run_on(core, recv_done, self.cfg.cpu.ssd_submit);
+            if let Some(tr) = &mut self.trace {
+                tr.rec(tid, Stage::GateRelease, submit);
+            }
             let (_op, done) = self.targets[target_idx].ssds[ssd_idx].submit_flush(submit);
             self.events.push(done, Event::SsdFlushDone(id));
             return;
@@ -1399,6 +1461,10 @@ impl Cluster {
                 self.targets[target_idx]
                     .cores
                     .run_on(core, recv_done, self.cfg.cpu.ssd_submit);
+            if let Some(tr) = &mut self.trace {
+                // No gate on the baseline path: release == driver done.
+                tr.rec(tid, Stage::GateRelease, submit);
+            }
             self.cmds.get_mut(id).expect("cmd exists").driver_ready = submit;
             self.try_ssd_submit(id);
         }
@@ -1449,9 +1515,16 @@ impl Cluster {
         target.slots[attr.stream.0 as usize].push_back((attr.seq_end.0, slot));
         target.slot_seen[attr.stream.0 as usize] = true;
         cmd.slot = Some(slot);
+        let tid = cmd.trace;
+        if let Some(tr) = &mut self.trace {
+            tr.rec(tid, Stage::GateRelease, cpu);
+        }
         let cpu = self.targets[target_idx]
             .cores
             .run_on(core, cpu, self.cfg.cpu.pmr_append);
+        if let Some(tr) = &mut self.trace {
+            tr.rec(tid, Stage::PmrPersist, cpu);
+        }
         // Submit to the SSD once the driver work and the data pull both
         // finish (via an event, keeping the device clock monotone). A
         // retransmitted data pull may still be in flight here.
@@ -1491,7 +1564,7 @@ impl Cluster {
     }
 
     fn on_ssd_write_done(&mut self, now: SimTime, id: u64) {
-        let (target_idx, core, flush_embedded, is_rio, slot_opt, plp) = {
+        let (target_idx, core, flush_embedded, is_rio, slot_opt, plp, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             let plp = self.targets[cmd.target].ssds[cmd.ssd].profile().plp;
             (
@@ -1501,8 +1574,14 @@ impl Cluster {
                 cmd.attr.is_some(),
                 cmd.slot,
                 plp,
+                cmd.trace,
             )
         };
+        if let Some(tr) = &mut self.trace {
+            // An embedded FLUSH overwrites this stamp when it lands
+            // (last write wins): media-done is the durability instant.
+            tr.rec(tid, Stage::MediaDone, now);
+        }
         let mut cpu = self.targets[target_idx]
             .cores
             .run_on(core, now, self.cfg.cpu.irq);
@@ -1528,10 +1607,13 @@ impl Cluster {
     }
 
     fn on_ssd_flush_done(&mut self, now: SimTime, id: u64) {
-        let (target_idx, core, is_rio, slot_opt) = {
+        let (target_idx, core, is_rio, slot_opt, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.attr.is_some(), cmd.slot)
+            (cmd.target, cmd.qp, cmd.attr.is_some(), cmd.slot, cmd.trace)
         };
+        if let Some(tr) = &mut self.trace {
+            tr.rec(tid, Stage::MediaDone, now);
+        }
         let mut cpu = self.targets[target_idx]
             .cores
             .run_on(core, now, self.cfg.cpu.irq);
@@ -1574,6 +1656,14 @@ impl Cluster {
         let cpu = self
             .init_cores
             .run_on(self.threads[t].core, now, self.cfg.cpu.irq);
+        if let Some(tr) = &mut self.trace {
+            tr.rec(cmd.trace, Stage::Complete, cpu);
+            if cmd.attr.is_none() {
+                // No in-order completer on the baseline paths:
+                // completion is delivery, the trace closes here.
+                tr.finish_unordered(cmd.trace, cpu);
+            }
+        }
 
         if cmd.kind == CmdKind::Flush {
             // Linux mode flush leg.
@@ -1600,6 +1690,14 @@ impl Cluster {
                 self.completer.on_done_into(part, &mut delivered);
             }
             let stream = unit.parts[0].stream;
+            if let Some(tr) = &mut self.trace {
+                // Commands delivered through the in-order completer
+                // close now; sample its held-back pressure too.
+                if let Some(&last) = delivered.last() {
+                    tr.deliver(stream.0 as usize, last.0, cpu);
+                }
+                tr.note_completer_held(self.completer.total_pending() as u64);
+            }
             for &seq in &delivered {
                 let info = self.group_info[stream.0 as usize]
                     .remove(seq.0)
@@ -1676,8 +1774,9 @@ impl Cluster {
             retx_pkts: 0,
             retx_bytes: 0,
             slot: None,
+            trace: TRACE_NONE,
         };
-        self.send_cmd(c, flush_cmd);
+        self.send_cmd(c, cpu, flush_cmd);
     }
 
     fn on_sync_flush_complete(&mut self, now: SimTime, t: usize) {
@@ -1766,6 +1865,11 @@ impl Cluster {
         self.events.clear();
         self.cmds.clear();
         self.units.clear();
+        if let Some(tr) = &mut self.trace {
+            // Every open trace dies with its command; the rolled-back
+            // tail redispatches with fresh traces in the next epoch.
+            tr.abort_open(idx as u32);
+        }
 
         // Physical failure. Power loss kills volatile SSD state on the
         // crashed targets; a NIC reset only kills in-flight transfers.
@@ -2084,6 +2188,7 @@ mod tests {
             plug_merge: true,
             pin_stream_to_qp: true,
             faults: FaultPlan::none(),
+            trace: None,
         }
     }
 
@@ -2384,6 +2489,7 @@ mod tests {
             plug_merge: true,
             pin_stream_to_qp: true,
             faults: FaultPlan::none(),
+            trace: None,
         }
     }
 

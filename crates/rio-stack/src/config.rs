@@ -1,6 +1,7 @@
 //! Cluster configuration: topology, ordering mode, CPU cost model,
 //! and the fault-injection plan.
 
+use crate::trace::TraceConfig;
 use rio_net::FabricProfile;
 use rio_sim::SimTime;
 use rio_ssd::SsdProfile;
@@ -313,6 +314,10 @@ pub struct ClusterConfig {
     /// Fault-injection plan (empty = no faults). Requires a Rio mode
     /// when non-empty.
     pub faults: FaultPlan,
+    /// Per-command stage tracing (`None` = off, zero overhead). When
+    /// set, [`crate::metrics::RunMetrics::breakdown`] carries the
+    /// fig. 14-style [`crate::trace::LatencyBreakdown`].
+    pub trace: Option<TraceConfig>,
 }
 
 impl ClusterConfig {
@@ -336,6 +341,7 @@ impl ClusterConfig {
             plug_merge: true,
             pin_stream_to_qp: true,
             faults: FaultPlan::none(),
+            trace: None,
         }
     }
 
@@ -365,6 +371,7 @@ impl ClusterConfig {
             plug_merge: true,
             pin_stream_to_qp: true,
             faults: FaultPlan::none(),
+            trace: None,
         }
     }
 

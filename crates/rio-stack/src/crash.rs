@@ -163,6 +163,7 @@ mod tests {
             plug_merge: true,
             pin_stream_to_qp: true,
             faults: FaultPlan::none(),
+            trace: None,
         }
     }
 

@@ -36,6 +36,7 @@ pub mod config;
 pub mod cpu;
 pub mod crash;
 pub mod metrics;
+pub mod trace;
 pub mod workload;
 
 pub use cluster::Cluster;
@@ -44,4 +45,5 @@ pub use config::{
     TargetConfig,
 };
 pub use metrics::{EpochMetrics, NetMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
+pub use trace::{CmdTraceRecord, LatencyBreakdown, Stage, TraceConfig};
 pub use workload::Workload;

@@ -184,6 +184,9 @@ pub struct RunMetrics {
     pub epochs: Vec<EpochMetrics>,
     /// When the run finished.
     pub finished_at: SimTime,
+    /// Per-command stage latency breakdown — `Some` only when the run
+    /// was configured with [`crate::config::ClusterConfig::trace`].
+    pub breakdown: Option<crate::trace::LatencyBreakdown>,
 }
 
 impl RunMetrics {
@@ -256,6 +259,7 @@ mod tests {
             recoveries: Vec::new(),
             epochs: Vec::new(),
             finished_at: SimTime::ZERO,
+            breakdown: None,
         }
     }
 

@@ -46,6 +46,7 @@ fn base_cfg() -> ClusterConfig {
         plug_merge: true,
         pin_stream_to_qp: true,
         faults: FaultPlan::none(),
+        trace: None,
     }
 }
 

@@ -5,7 +5,9 @@ use rio::fs::{OrderedDev, RioFs};
 use rio::sim::SimTime;
 use rio::ssd::SsdProfile;
 use rio::stack::crash::run_crash_recovery;
-use rio::stack::{Cluster, ClusterConfig, FabricConfig, FaultPlan, OrderingMode, Workload};
+use rio::stack::{
+    Cluster, ClusterConfig, FabricConfig, FaultPlan, OrderingMode, TraceConfig, Workload,
+};
 use rio::workloads::{MiniKv, Varmail};
 
 fn small(mode: OrderingMode, threads: usize) -> ClusterConfig {
@@ -168,6 +170,127 @@ fn run_metrics_snapshot_identical_with_crash_under_loss() {
     assert_eq!(a.epochs.len(), 2);
     assert!(a.recoveries[0].records_scanned > 0);
     assert!(a.finished_at > a.recoveries[0].resumed_at, "run resumed");
+}
+
+#[test]
+fn run_metrics_snapshot_identical_with_tracing_enabled() {
+    // The tracing counterpart of the three snapshot rails above: with
+    // per-command stage tracing on, the whole `RunMetrics` — the
+    // `LatencyBreakdown` histograms and every trace record included —
+    // must still be a pure function of `(config, seed)`, across all
+    // four engines, over a lossy fabric, and through a crash.
+    for mode in [
+        OrderingMode::Orderless,
+        OrderingMode::LinuxNvmf,
+        OrderingMode::Horae,
+        OrderingMode::Rio { merge: true },
+    ] {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let run = || {
+            let mut cfg = small(mode.clone(), 3);
+            cfg.net = FabricConfig::lossy(0.05, 2);
+            cfg.net.migrate_every = 32;
+            cfg.trace = Some(TraceConfig { ring: 1 << 16 });
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a, b, "{} traced replay diverged", mode.label());
+        let bd = a.breakdown.as_ref().expect("tracing was on");
+        assert!(bd.completed > 0, "{} traced no commands", mode.label());
+    }
+    // And the crash-under-loss shape.
+    let run = || {
+        let mut cfg = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 3);
+        cfg.initiator_cores = 8;
+        for t in &mut cfg.targets {
+            t.cores = 8;
+        }
+        cfg.qps_per_target = 8;
+        cfg.max_inflight_per_stream = 16;
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+        cfg.trace = Some(TraceConfig { ring: 1 << 16 });
+        Cluster::new(cfg, Workload::random_4k(3, 400)).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "traced crash-under-loss replay diverged");
+    assert!(a.breakdown.as_ref().unwrap().aborted > 0, "crash strands traces");
+}
+
+#[test]
+fn tracing_disabled_is_observably_free() {
+    // The zero-overhead contract: with `trace: None` the simulation
+    // must be *bit-identical* to the pre-tracing engine — tracing may
+    // not add events, consume rng draws, or perturb any counter. Two
+    // teeth: (1) event counts pinned to the literals captured before
+    // the trace subsystem existed; (2) an enabled run differs from a
+    // disabled run in the `breakdown` field and nothing else.
+    let expected = [
+        (OrderingMode::Orderless, 5_039u64, 5_351u64),
+        (OrderingMode::LinuxNvmf, 1_443, 1_497),
+        (OrderingMode::Horae, 10_784, 10_647),
+        (OrderingMode::Rio { merge: true }, 5_061, 5_297),
+    ];
+    for (mode, clean_events, lossy_events) in expected {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let run = |trace: Option<TraceConfig>, lossy: bool| {
+            let mut cfg = small(mode.clone(), 3);
+            if lossy {
+                cfg.net = FabricConfig::lossy(0.05, 2);
+                cfg.net.migrate_every = 32;
+            }
+            cfg.trace = trace;
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        for (lossy, pinned) in [(false, clean_events), (true, lossy_events)] {
+            let off = run(None, lossy);
+            assert_eq!(
+                off.events_processed,
+                pinned,
+                "{} (lossy={lossy}): disabled-tracing event count moved off the pre-tracing snapshot",
+                mode.label()
+            );
+            assert!(off.breakdown.is_none());
+            let mut on = run(Some(TraceConfig::default()), lossy);
+            assert!(on.breakdown.is_some());
+            on.breakdown = None;
+            assert_eq!(
+                on,
+                off,
+                "{} (lossy={lossy}): tracing perturbed the simulation",
+                mode.label()
+            );
+        }
+    }
+    // The crash shape, pinned the same way.
+    let run = |trace: Option<TraceConfig>| {
+        let mut cfg = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 3);
+        cfg.initiator_cores = 8;
+        for t in &mut cfg.targets {
+            t.cores = 8;
+        }
+        cfg.qps_per_target = 8;
+        cfg.max_inflight_per_stream = 16;
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+        cfg.trace = trace;
+        Cluster::new(cfg, Workload::random_4k(3, 400)).run()
+    };
+    let off = run(None);
+    assert_eq!(off.events_processed, 5_046, "crash event count moved");
+    assert_eq!(off.commands_sent, 1_237, "crash command count moved");
+    let mut on = run(Some(TraceConfig::default()));
+    assert!(on.breakdown.is_some());
+    on.breakdown = None;
+    assert_eq!(on, off, "tracing perturbed the crash run");
 }
 
 #[test]
