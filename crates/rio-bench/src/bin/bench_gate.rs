@@ -1,9 +1,11 @@
-//! Performance-regression gate over `BENCH_sim.json`.
+//! Performance-regression gate over `BENCH_sim.json` and
+//! `BENCH_recovery.json`.
 //!
-//! Loads the committed baseline and compares it against a current
-//! measurement of the same sweep grid, failing (exit 1) on a >10%
-//! events/s drop or a >15% deterministic group-p99 rise in any cell,
-//! with a per-cell report. Malformed or wrong-schema files exit 2.
+//! Loads the committed baselines and compares them against current
+//! measurements, failing (exit 1) on a >10% events/s drop or a >15%
+//! deterministic group-p99 rise in any engine cell, or a >15% rise in
+//! either virtual-time phase of any recovery-trajectory cell, with a
+//! per-cell report. Malformed or wrong-schema files exit 2.
 //!
 //! Usage:
 //!
@@ -12,14 +14,62 @@
 //! bench_gate --smoke                 # CI: re-run the full-sized subset
 //! bench_gate --current run.json      # ingest an existing measurement
 //! bench_gate --baseline other.json   # compare against another baseline
+//! bench_gate --recovery other.json   # recovery trajectory baseline
+//! bench_gate --no-recovery           # skip the recovery trajectory
 //! ```
 
 use rio_bench::gate::{compare, parse, GateOutcome};
+use rio_bench::recovery::{compare_recovery, parse_recovery, trajectory};
 use rio_bench::sweep::{calibrate, run_spec, smoke_subset, specs, Cell};
 
 fn default_baseline() -> String {
     // crates/rio-bench -> repo root.
     format!("{}/../../BENCH_sim.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn default_recovery_baseline() -> String {
+    format!("{}/../../BENCH_recovery.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Gates the deterministic §6.5 recovery-time trajectory. Returns the
+/// exit code contribution: 0 pass, 1 regression, 2 malformed baseline.
+fn recovery_gate(baseline_path: &str) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read recovery baseline {baseline_path}: {e}\n\
+                 (generate it with `cargo bench -p rio-bench --bench t65_recovery_time \
+                 -- --out BENCH_recovery.json`, or pass --no-recovery)"
+            );
+            return 2;
+        }
+    };
+    let baseline = match parse_recovery(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: recovery baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    println!(
+        "bench_gate: re-running the {}-cell recovery trajectory (virtual time, \
+         no machine factor)",
+        baseline.cells.len()
+    );
+    let current = trajectory();
+    let out = compare_recovery(&baseline.cells, &current);
+    report(&out);
+    if out.failed() {
+        println!("bench_gate: FAIL — recovery time regressed beyond tolerance");
+        1
+    } else {
+        println!(
+            "bench_gate: recovery PASS ({} cells compared)",
+            out.verdicts.len()
+        );
+        0
+    }
 }
 
 fn load(path: &str, role: &str) -> Result<rio_bench::gate::BenchFile, String> {
@@ -213,13 +263,25 @@ fn real_main() -> i32 {
         }
     }
     report(&out);
-    if out.failed() {
+    let engine_code = if out.failed() {
         println!("bench_gate: FAIL — performance regressed beyond tolerance");
         1
     } else {
         println!("bench_gate: PASS ({} cells compared)", out.verdicts.len());
         0
-    }
+    };
+
+    // The recovery trajectory rides along on live re-runs. An ingested
+    // `--current` file is an engine measurement only — there is nothing
+    // recovery-shaped in it to gate — and --no-recovery skips
+    // explicitly.
+    let recovery_code = if args.iter().any(|a| a == "--no-recovery") || !rerunning {
+        0
+    } else {
+        let path = flag_val("--recovery").unwrap_or_else(default_recovery_baseline);
+        recovery_gate(&path)
+    };
+    engine_code.max(recovery_code)
 }
 
 fn main() {

@@ -55,7 +55,7 @@ fn next_pair(s: &str) -> Option<(String, String, &str)> {
 }
 
 /// All pairs of one flat JSON object body.
-fn object_pairs(mut s: &str) -> Vec<(String, String)> {
+pub(crate) fn object_pairs(mut s: &str) -> Vec<(String, String)> {
     let mut pairs = Vec::new();
     while let Some((k, v, rest)) = next_pair(s) {
         pairs.push((k, v));
@@ -64,7 +64,7 @@ fn object_pairs(mut s: &str) -> Vec<(String, String)> {
     pairs
 }
 
-fn lookup<'a>(pairs: &'a [(String, String)], key: &str, ctx: &str) -> Result<&'a str, String> {
+pub(crate) fn lookup<'a>(pairs: &'a [(String, String)], key: &str, ctx: &str) -> Result<&'a str, String> {
     pairs
         .iter()
         .find(|(k, _)| k == key)
@@ -72,19 +72,19 @@ fn lookup<'a>(pairs: &'a [(String, String)], key: &str, ctx: &str) -> Result<&'a
         .ok_or_else(|| format!("missing field \"{key}\" in {ctx}"))
 }
 
-fn parse_u64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<u64, String> {
+pub(crate) fn parse_u64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<u64, String> {
     let v = lookup(pairs, key, ctx)?;
     v.parse()
         .map_err(|_| format!("field \"{key}\" in {ctx} is not an integer: {v:?}"))
 }
 
-fn parse_f64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<f64, String> {
+pub(crate) fn parse_f64(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<f64, String> {
     let v = lookup(pairs, key, ctx)?;
     v.parse()
         .map_err(|_| format!("field \"{key}\" in {ctx} is not a number: {v:?}"))
 }
 
-fn parse_usize(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<usize, String> {
+pub(crate) fn parse_usize(pairs: &[(String, String)], key: &str, ctx: &str) -> Result<usize, String> {
     Ok(parse_u64(pairs, key, ctx)? as usize)
 }
 

@@ -9,6 +9,7 @@
 use rio_stack::{Cluster, ClusterConfig, OrderingMode, RunMetrics, Workload};
 
 pub mod gate;
+pub mod recovery;
 pub mod sweep;
 
 /// Standard mode list in paper legend order.

@@ -92,6 +92,21 @@ impl StripedVolume {
         (server, ssd, plba)
     }
 
+    /// Inverse of [`Self::map_block`]: the logical block that stripe
+    /// leg `leg` stores at physical address `plba`. Recovery scrubbing
+    /// uses this to attribute a corrupt media block back to the
+    /// workload group that wrote it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leg` is out of range.
+    pub fn logical_of(&self, leg: usize, plba: u64) -> u64 {
+        assert!(leg < self.legs.len(), "leg out of range");
+        let chunk_in_leg = plba / self.stripe_blocks;
+        let chunk = chunk_in_leg * self.legs.len() as u64 + leg as u64;
+        chunk * self.stripe_blocks + plba % self.stripe_blocks
+    }
+
     /// Maps a logical range into per-device physically contiguous
     /// extents, ordered by first logical block.
     ///
@@ -265,6 +280,19 @@ mod tests {
     }
 
     proptest! {
+        /// `logical_of` inverts `map_block` for every logical block.
+        #[test]
+        fn prop_logical_of_inverts_map_block(
+            lba in 0u64..100_000,
+            legs in 1usize..6,
+            stripe in 1u32..16,
+        ) {
+            let legs_v: Vec<(ServerId, usize)> = (0..legs).map(|i| (ServerId(i as u16), 0)).collect();
+            let v = StripedVolume::new(legs_v, stripe, 1 << 20);
+            let (srv, _, plba) = v.map_block(lba);
+            prop_assert_eq!(v.logical_of(srv.0 as usize, plba), lba);
+        }
+
         /// Mapping covers every logical block exactly once: the extent
         /// block counts tile the request and every (device, physical
         /// block) of the request appears in exactly one extent.

@@ -156,6 +156,11 @@ impl<D: BlockDev> RioFs<D> {
         self.dev
     }
 
+    /// Borrows the underlying device (integrity inspection in tests).
+    pub fn device(&self) -> &D {
+        &self.dev
+    }
+
     /// Lists directory entries.
     pub fn readdir(&self) -> Vec<(String, u64)> {
         let mut v: Vec<(String, u64)> = self.dir.iter().map(|(n, &i)| (n.clone(), i)).collect();

@@ -23,6 +23,6 @@ pub mod fs;
 pub mod journal;
 pub mod layout;
 
-pub use device::{BlockDev, MemDev, OrderedDev};
+pub use device::{BlockDev, MemDev, OrderedDev, BLOCK_SIZE};
 pub use fs::{FsError, RioFs};
 pub use layout::Layout;

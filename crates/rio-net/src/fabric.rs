@@ -45,6 +45,12 @@ pub struct FabricProfile {
     /// Per-packet drop probability, clamped to `[0, 0.995]` so
     /// go-back-N recovery always terminates.
     pub loss_rate: f64,
+    /// Per-packet in-flight corruption probability, clamped like
+    /// [`FabricProfile::loss_rate`]. A corrupted packet is delivered,
+    /// fails the receiver's CRC-32C payload check, and is NAKed into
+    /// the same go-back-N recovery a drop takes — the wire cost is
+    /// identical, the bookkeeping separates the causes.
+    pub corrupt_rate: f64,
     /// Go-back-N recovery latency in microseconds: a lost packet
     /// stalls its message for this long before the window resends.
     /// The default models NAK-triggered recovery (the receiver spots
@@ -68,6 +74,7 @@ impl FabricProfile {
             jitter,
             mtu_bytes: 4096,
             loss_rate: 0.0,
+            corrupt_rate: 0.0,
             rto_us: 25.0,
             migrate_every: 0,
             paths: vec![PathProfile {
@@ -96,6 +103,15 @@ impl FabricProfile {
     pub fn with_loss(mut self, rate: f64, rto_us: f64) -> Self {
         self.loss_rate = rate.clamp(0.0, 0.995);
         self.rto_us = rto_us.max(0.0);
+        self
+    }
+
+    /// Enables per-packet in-flight corruption at `rate`. A corrupted
+    /// packet rides the wire normally but fails the receiver's payload
+    /// digest check, which NAKs it into the same go-back-N window a
+    /// drop enters.
+    pub fn with_corruption(mut self, rate: f64) -> Self {
+        self.corrupt_rate = rate.clamp(0.0, 0.995);
         self
     }
 
@@ -177,6 +193,16 @@ pub struct NicStats {
     pub retx_inflight: u64,
     /// Peak of [`NicStats::retx_inflight`] over the run.
     pub retx_inflight_peak: u64,
+    /// Packets the fabric corrupted in flight.
+    pub corrupt_injected: u64,
+    /// Corrupted packets the receiver's digest check caught and NAKed.
+    /// The fabric model delivers no silent corruption, so this always
+    /// equals [`NicStats::corrupt_injected`]; keeping both makes the
+    /// "every injected corruption is detected" ledger explicit.
+    pub corrupt_detected: u64,
+    /// Packets re-fetched because a corruption (not a drop) cut the
+    /// window: the corrupted packet and the go-back-N tail behind it.
+    pub corrupt_refetched: u64,
 }
 
 /// One reliable-connected queue pair's delivery cursor and path pin.
@@ -323,13 +349,18 @@ pub enum XferStep {
         /// Delivery instant at the receiver.
         at: SimTime,
     },
-    /// A packet was dropped mid-message; go-back-N resumes at
-    /// `resume_at` with `pkts_left` packets still to deliver.
+    /// A packet was dropped or corrupted mid-message; go-back-N
+    /// resumes at `resume_at` with `pkts_left` packets still to
+    /// deliver.
     Dropped {
         /// Instant the retransmission timeout fires.
         resume_at: SimTime,
-        /// Packets not yet delivered (the dropped one and its tail).
+        /// Packets not yet delivered (the failed one and its tail).
         pkts_left: u32,
+        /// Whether the window was cut by an in-flight corruption the
+        /// receiver NAKed (`true`) rather than a silent drop
+        /// (`false`). Tracing uses this to attribute the retransmit.
+        corrupted: bool,
     },
 }
 
@@ -345,6 +376,7 @@ impl Fabric {
     /// Creates a fabric with a deterministic jitter/drop seed.
     pub fn new(mut profile: FabricProfile, seed: u64) -> Self {
         profile.loss_rate = profile.loss_rate.clamp(0.0, 0.995);
+        profile.corrupt_rate = profile.corrupt_rate.clamp(0.0, 0.995);
         if profile.paths.is_empty() {
             profile.paths.push(PathProfile {
                 one_way_latency_us: profile.one_way_latency_us,
@@ -363,6 +395,13 @@ impl Fabric {
         &self.profile
     }
 
+    /// Changes the in-flight corruption rate mid-run (the
+    /// `PacketCorrupt` fault injects through this). Clamped like the
+    /// constructor.
+    pub fn set_corrupt_rate(&mut self, rate: f64) {
+        self.profile.corrupt_rate = rate.clamp(0.0, 0.995);
+    }
+
     /// One-way latency sample on path `p`.
     fn latency_on(&mut self, p: usize) -> SimDuration {
         let path = &self.profile.paths[p];
@@ -372,6 +411,24 @@ impl Fabric {
     /// Retransmission timeout.
     fn rto(&self) -> SimDuration {
         SimDuration::from_micros_f64(self.profile.rto_us)
+    }
+
+    /// Samples the fate of a header-only pull-request packet charged
+    /// to `reader`: `None` if it got through, `Some(corrupted)` if it
+    /// failed (dropped, or corrupted and NAKed). One re-fetched packet
+    /// is counted on corruption — the request itself.
+    fn request_pkt_failure(&mut self, reader: &mut Nic) -> Option<bool> {
+        if self.profile.loss_rate > 0.0 && self.rng.chance(self.profile.loss_rate) {
+            reader.stats.drops += 1;
+            Some(false)
+        } else if self.profile.corrupt_rate > 0.0 && self.rng.chance(self.profile.corrupt_rate) {
+            reader.stats.corrupt_injected += 1;
+            reader.stats.corrupt_detected += 1;
+            reader.stats.corrupt_refetched += 1;
+            Some(true)
+        } else {
+            None
+        }
     }
 
     /// Size of packet `idx` of a `bytes` message split into `total`.
@@ -420,10 +477,12 @@ impl Fabric {
         let first = total - pkts_left;
         let p = self.qp_path(nic, qp);
         let mut cursor = now;
-        // Go-back-N: loss is sampled per packet until the first drop;
-        // the already-queued tail of the window still burns wire time
-        // (and is counted) but the receiver discards it.
-        let mut dropped_at: Option<u32> = None;
+        // Go-back-N: loss and corruption are sampled per packet until
+        // the first failure; the already-queued tail of the window
+        // still burns wire time (and is counted) but the receiver
+        // discards it. The `rate > 0` short-circuits keep the rng
+        // stream identical when a fault class is disabled.
+        let mut failed_at: Option<(u32, bool)> = None;
         for i in first..total {
             let pb = self.pkt_bytes(bytes, total, i);
             cursor = nic.paths[p].link.transfer(cursor, pb);
@@ -435,21 +494,32 @@ impl Fabric {
                 nic.paths[p].stats.retransmits += 1;
                 nic.stats.retransmits += 1;
             }
-            if dropped_at.is_none()
-                && self.profile.loss_rate > 0.0
-                && self.rng.chance(self.profile.loss_rate)
-            {
-                nic.paths[p].stats.drops += 1;
-                nic.stats.drops += 1;
-                dropped_at = Some(i);
+            if failed_at.is_none() {
+                if self.profile.loss_rate > 0.0 && self.rng.chance(self.profile.loss_rate) {
+                    nic.paths[p].stats.drops += 1;
+                    nic.stats.drops += 1;
+                    failed_at = Some((i, false));
+                } else if self.profile.corrupt_rate > 0.0
+                    && self.rng.chance(self.profile.corrupt_rate)
+                {
+                    // The packet arrives, its payload digest does not
+                    // verify, the receiver NAKs the window.
+                    nic.stats.corrupt_injected += 1;
+                    nic.stats.corrupt_detected += 1;
+                    failed_at = Some((i, true));
+                }
             }
         }
-        if let Some(i) = dropped_at {
+        if let Some((i, corrupted)) = failed_at {
+            if corrupted {
+                nic.stats.corrupt_refetched += u64::from(total - i);
+            }
             // Timeout, then (optionally) fail over to another path.
             self.migrate(nic, qp);
             return XferStep::Dropped {
                 resume_at: cursor + self.rto(),
                 pkts_left: total - i,
+                corrupted,
             };
         }
         // The message is delivered when its last packet lands; only
@@ -534,6 +604,7 @@ impl Fabric {
                 XferStep::Dropped {
                     resume_at,
                     pkts_left,
+                    ..
                 } => step = self.resume_send(src, qp, resume_at, pkts_left, bytes),
             }
         }
@@ -563,8 +634,7 @@ impl Fabric {
         // source: counted against the reader NIC (no payload bytes, no
         // path — it rides the reverse direction).
         reader.stats.packets += 1;
-        if self.profile.loss_rate > 0.0 && self.rng.chance(self.profile.loss_rate) {
-            reader.stats.drops += 1;
+        if let Some(corrupted) = self.request_pkt_failure(reader) {
             reader.stats.retx_inflight += 1;
             reader.stats.retx_inflight_peak =
                 reader.stats.retx_inflight_peak.max(reader.stats.retx_inflight);
@@ -572,6 +642,7 @@ impl Fabric {
             return XferStep::Dropped {
                 resume_at: now + self.rto(),
                 pkts_left: total + 1,
+                corrupted,
             };
         }
         let p = self.qp_path(source, qp);
@@ -609,12 +680,12 @@ impl Fabric {
             // header-only request, charged to the reader NIC).
             reader.stats.packets += 1;
             reader.stats.retransmits += 1;
-            if self.profile.loss_rate > 0.0 && self.rng.chance(self.profile.loss_rate) {
-                reader.stats.drops += 1;
+            if let Some(corrupted) = self.request_pkt_failure(reader) {
                 reader.stats.retx_rounds += 1;
                 return XferStep::Dropped {
                     resume_at: now + self.rto(),
                     pkts_left: total + 1,
+                    corrupted,
                 };
             }
             let p = self.qp_path(source, qp);
@@ -648,6 +719,7 @@ impl Fabric {
                 XferStep::Dropped {
                     resume_at,
                     pkts_left,
+                    ..
                 } => step = self.resume_pull(reader, source, 0, resume_at, pkts_left, bytes),
             }
         }
@@ -672,6 +744,7 @@ impl Fabric {
                 XferStep::Dropped {
                     resume_at,
                     pkts_left,
+                    ..
                 } => {
                     if !parked {
                         parked = true;
@@ -859,6 +932,7 @@ mod tests {
             while let XferStep::Dropped {
                 resume_at,
                 pkts_left,
+                ..
             } = step
             {
                 assert!(pkts_left >= 1 && pkts_left <= total);
@@ -967,6 +1041,7 @@ mod tests {
             XferStep::Dropped {
                 resume_at,
                 pkts_left,
+                ..
             } => {
                 assert_eq!(pkts_left, 1);
                 assert!(resume_at.as_micros_f64() >= 10.0);
@@ -976,6 +1051,7 @@ mod tests {
                 while let XferStep::Dropped {
                     resume_at,
                     pkts_left,
+                    ..
                 } = step
                 {
                     step = f.resume_send(&mut nic, 0, resume_at, pkts_left, 64);
@@ -986,6 +1062,77 @@ mod tests {
                 // Unlikely but legal; nothing to check.
             }
         }
+    }
+
+    #[test]
+    fn corruption_naks_into_goback_n_and_balances_ledger() {
+        let profile = FabricProfile::connectx6().with_corruption(0.3);
+        let mut f = Fabric::new(profile, 21);
+        let mut nic = Nic::new(1, f.profile().bandwidth);
+        for i in 0..64 {
+            let now = SimTime::from_nanos(i * 100_000);
+            let d = f.send(&mut nic, 0, now, 64 * 1024);
+            assert!(d >= now, "corrupted sends still deliver eventually");
+        }
+        let s = nic.stats().clone();
+        assert!(s.corrupt_injected > 0, "30% corruption must hit");
+        assert_eq!(s.corrupt_injected, s.corrupt_detected, "no silent corruption");
+        assert!(
+            s.corrupt_refetched >= s.corrupt_injected,
+            "each NAK re-fetches at least the corrupted packet"
+        );
+        assert_eq!(s.drops, 0, "corruption is not loss");
+        assert!(s.retransmits > 0, "NAKs drive go-back-N retransmits");
+        assert_eq!(s.retx_inflight, 0, "all recoveries settled");
+    }
+
+    #[test]
+    fn corrupted_pull_request_parks_with_request_marker() {
+        let profile = FabricProfile::connectx6().with_corruption(0.995);
+        let mut f = Fabric::new(profile, 3);
+        let mut reader = Nic::new(1, f.profile().bandwidth);
+        let mut source = Nic::new(1, f.profile().bandwidth);
+        let total = f.profile().packets_for(8192);
+        let step = f.pull_burst(&mut reader, &mut source, 0, SimTime::ZERO, 8192);
+        match step {
+            XferStep::Dropped {
+                pkts_left,
+                corrupted,
+                ..
+            } => {
+                // At 99.5% the request packet itself is corrupted.
+                assert_eq!(pkts_left, total + 1, "request loss marker");
+                assert!(corrupted);
+                assert_eq!(reader.stats().corrupt_injected, 1);
+                assert_eq!(reader.stats().corrupt_refetched, 1);
+                assert_eq!(reader.stats().drops, 0);
+            }
+            XferStep::Delivered { .. } => panic!("0.5% survival twice in a row"),
+        }
+    }
+
+    #[test]
+    fn corruption_off_leaves_rng_stream_untouched() {
+        // A lossy profile with corrupt_rate 0 must produce exactly the
+        // timings it produced before corruption existed: the disabled
+        // class draws nothing from the rng.
+        let run = |corrupt: f64| {
+            let p = FabricProfile::connectx6().with_loss(0.2, 25.0).with_corruption(corrupt);
+            let mut f = Fabric::new(p, 123);
+            let mut nic = Nic::new(2, f.profile().bandwidth);
+            (0..100)
+                .map(|i| {
+                    f.send(&mut nic, (i % 2) as usize, SimTime::from_nanos(i * 500), 8192)
+                        .as_nanos()
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0.0), run(0.0));
+        assert_ne!(
+            run(0.0),
+            run(0.4),
+            "enabled corruption must perturb recovery timing"
+        );
     }
 
     #[test]

@@ -9,18 +9,24 @@
 //! * the Rio ordering extension carried in the reserved dwords
 //!   ([`RioExt`]),
 //! * the 32-byte persistent-ordering-attribute record written to the PMR
-//!   log ([`pmr_record::PmrRecord`]).
+//!   log ([`pmr_record::PmrRecord`]),
+//! * the shared checksum suite and per-command payload digest
+//!   ([`crc`]), and the deterministic payload-block generator behind
+//!   end-to-end data-integrity checks ([`payload`]).
 //!
 //! Everything here is pure data manipulation: no I/O, no simulation
 //! dependencies, fully round-trip tested.
 
 pub mod cqe;
+pub mod crc;
 pub mod opcode;
+pub mod payload;
 pub mod pmr_record;
 pub mod rio_ext;
 pub mod sqe;
 
 pub use cqe::{Cqe, Status};
+pub use crc::{crc16, crc32c, PayloadDigest};
 pub use opcode::{NvmOpcode, RioOpcode};
 pub use pmr_record::PmrRecord;
 pub use rio_ext::{RioExt, RioFlags};

@@ -109,25 +109,7 @@ pub struct PmrRecord {
     pub ssd: u8,
 }
 
-/// CRC-16/CCITT-FALSE over `data`.
-///
-/// Chosen over Fletcher-16, whose mod-255 arithmetic cannot distinguish
-/// 0x00 from 0xFF bytes — exactly the corruption a torn write of a
-/// zero-filled slot produces.
-fn crc16(data: &[u8]) -> u16 {
-    let mut crc: u16 = 0xFFFF;
-    for &byte in data {
-        crc ^= (byte as u16) << 8;
-        for _ in 0..8 {
-            if crc & 0x8000 != 0 {
-                crc = (crc << 1) ^ 0x1021;
-            } else {
-                crc <<= 1;
-            }
-        }
-    }
-    crc
-}
+use crate::crc::crc16;
 
 impl PmrRecord {
     /// Size of an encoded record in bytes.
@@ -285,14 +267,6 @@ mod tests {
     fn empty_record_rejected() {
         let r = PmrRecord { len: 0, ..sample() };
         let _ = r.encode();
-    }
-
-    #[test]
-    fn crc_differs_on_permutation() {
-        // CRC-16 is position-sensitive (unlike a plain sum).
-        assert_ne!(crc16(&[1, 2, 3]), crc16(&[3, 2, 1]));
-        // And it distinguishes 0x00 from 0xFF bytes (Fletcher-16 cannot).
-        assert_ne!(crc16(&[0x00, 1]), crc16(&[0xff, 1]));
     }
 
     proptest! {

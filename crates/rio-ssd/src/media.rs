@@ -3,6 +3,13 @@
 //! Stores a [`BlockImage`] per logical block. File-system tests write
 //! real bytes; raw block benchmarks use cheap tags, so a simulated
 //! multi-gigabyte run costs megabytes of host memory.
+//!
+//! With end-to-end integrity on, every block that lands on media is
+//! *sealed*: the store records the CRC-32C of the intended image next
+//! to whatever bytes actually landed. A torn write (partial image,
+//! intended seal) or at-rest bit rot (mutated image, original seal)
+//! leaves the two inconsistent, which is exactly what a recovery scrub
+//! checks for.
 
 use rio_sim::FxHashMap;
 
@@ -44,6 +51,9 @@ impl BlockImage {
 #[derive(Debug, Default, Clone)]
 pub struct BlockStore {
     blocks: FxHashMap<u64, (u64, BlockImage)>,
+    /// Intended-content CRC-32C per sealed block (integrity runs only;
+    /// empty — and cost-free — otherwise).
+    seals: FxHashMap<u64, u32>,
     next_version: u64,
 }
 
@@ -53,12 +63,54 @@ impl BlockStore {
         BlockStore::default()
     }
 
-    /// Writes one block, returning its new version number.
+    /// Writes one block, returning its new version number. An unsealed
+    /// write drops any stale seal: the recorded checksum always belongs
+    /// to the last write.
     pub fn write(&mut self, lba: u64, image: BlockImage) -> u64 {
         self.next_version += 1;
         let v = self.next_version;
         self.blocks.insert(lba, (v, image));
+        if !self.seals.is_empty() {
+            self.seals.remove(&lba);
+        }
         v
+    }
+
+    /// Writes one block together with the CRC-32C of its *intended*
+    /// image. Callers landing clean data pass the checksum of `image`
+    /// itself; a torn-write injection passes the intended checksum next
+    /// to the partial bytes that actually hit media.
+    pub fn write_sealed(&mut self, lba: u64, image: BlockImage, seal: u32) -> u64 {
+        let v = self.write(lba, image);
+        self.seals.insert(lba, seal);
+        v
+    }
+
+    /// The recorded seal of `lba`, if the block was written sealed.
+    pub fn seal(&self, lba: u64) -> Option<u32> {
+        self.seals.get(&lba).copied()
+    }
+
+    /// Every sealed block address, ascending (a deterministic scrub
+    /// order).
+    pub fn sealed_lbas(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.seals.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Flips one bit of the stored image of `lba` without touching its
+    /// seal (at-rest bit rot). Returns `false` when the block holds no
+    /// data. `bit` indexes into the materialised `block_size`-byte
+    /// image.
+    pub fn flip_bit(&mut self, lba: u64, bit: usize, block_size: usize) -> bool {
+        let Some((_, img)) = self.blocks.get_mut(&lba) else {
+            return false;
+        };
+        let mut bytes = img.to_bytes(block_size);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+        *img = BlockImage::Bytes(bytes.into_boxed_slice());
+        true
     }
 
     /// Reads one block (unwritten blocks read back as [`BlockImage::Zero`]).
@@ -75,10 +127,13 @@ impl BlockStore {
     }
 
     /// Erases `count` blocks starting at `lba` (recovery roll-back /
-    /// TRIM).
+    /// TRIM). Seals go with their blocks.
     pub fn discard(&mut self, lba: u64, count: u64) {
         for b in lba..lba + count {
             self.blocks.remove(&b);
+            if !self.seals.is_empty() {
+                self.seals.remove(&b);
+            }
         }
     }
 
@@ -129,6 +184,41 @@ mod tests {
         assert_eq!(s.read(4), BlockImage::Zero);
         assert_eq!(s.read(5), BlockImage::Tag(5));
         assert_eq!(s.written_blocks(), 7);
+    }
+
+    #[test]
+    fn sealed_write_records_and_clears_checksums() {
+        let mut s = BlockStore::new();
+        s.write_sealed(3, BlockImage::Tag(9), 0xDEAD_BEEF);
+        assert_eq!(s.seal(3), Some(0xDEAD_BEEF));
+        assert_eq!(s.sealed_lbas(), vec![3]);
+        // An unsealed overwrite drops the stale seal.
+        s.write(3, BlockImage::Tag(10));
+        assert_eq!(s.seal(3), None);
+        assert!(s.sealed_lbas().is_empty());
+    }
+
+    #[test]
+    fn discard_takes_seals_with_it() {
+        let mut s = BlockStore::new();
+        s.write_sealed(5, BlockImage::Tag(1), 7);
+        s.write_sealed(6, BlockImage::Tag(2), 8);
+        s.discard(5, 1);
+        assert_eq!(s.seal(5), None);
+        assert_eq!(s.seal(6), Some(8));
+    }
+
+    #[test]
+    fn flip_bit_mutates_image_but_not_seal() {
+        let mut s = BlockStore::new();
+        let clean = BlockImage::Tag(0xFF).to_bytes(64);
+        s.write_sealed(1, BlockImage::Tag(0xFF), 123);
+        assert!(s.flip_bit(1, 9, 64));
+        let rotten = s.read(1).to_bytes(64);
+        assert_ne!(clean, rotten);
+        assert_eq!(clean[1] ^ 2, rotten[1], "exactly bit 9 flipped");
+        assert_eq!(s.seal(1), Some(123), "seal untouched by rot");
+        assert!(!s.flip_bit(99, 0, 64), "absent block cannot rot");
     }
 
     #[test]

@@ -17,9 +17,21 @@
 //!   after its completion finishes, or (c) it was submitted with FUA.
 //! * [`Ssd::crash`] keeps the media and PMR, loses the volatile cache
 //!   and all in-flight commands.
+//!
+//! Integrity model (opt-in via [`Ssd::set_integrity`]):
+//!
+//! * every block landing on media carries a CRC-32C seal of its
+//!   intended image,
+//! * a power failure tears the write the media was absorbing — partial
+//!   bytes under the intended seal,
+//! * [`Ssd::rot_at_rest`] flips bits in sealed blocks without touching
+//!   their seals,
+//! * [`Ssd::scrub`] re-checksums every sealed block and reports the
+//!   mismatches; with integrity off none of this costs anything.
 
 use std::collections::VecDeque;
 
+use rio_proto::crc32c;
 use rio_sim::{MultiServer, SimDuration, SimRng, SimTime};
 
 use crate::media::{BlockImage, BlockStore};
@@ -70,6 +82,9 @@ pub struct SsdStats {
 struct CacheEntry {
     lba: u64,
     images: Vec<BlockImage>,
+    /// Per-block intended-image checksums (integrity runs on volatile
+    /// drives only; empty otherwise).
+    crcs: Vec<u32>,
     bytes: u64,
     /// Submission time (FLUSH coverage: NVMe flush drains everything
     /// the controller accepted before the flush was submitted).
@@ -82,8 +97,13 @@ struct CacheEntry {
 #[derive(Debug, Clone)]
 enum PendingOp {
     /// PLP write: blocks move to media at completion. FUA writes on
-    /// volatile drives take this path too.
-    DurableWrite { lba: u64, images: Vec<BlockImage> },
+    /// volatile drives take this path too. `crcs` seals each block on
+    /// integrity runs (empty otherwise).
+    DurableWrite {
+        lba: u64,
+        images: Vec<BlockImage>,
+        crcs: Vec<u32>,
+    },
     /// Volatile write: already sits in the cache; completion is only a
     /// statistics event.
     CachedWrite { blocks: u64 },
@@ -123,6 +143,8 @@ pub struct Ssd {
     pending: Vec<((SimTime, u64), PendingOp)>,
     next_op: u64,
     stats: SsdStats,
+    /// Whether media landings are checksummed and crashes tear.
+    integrity: bool,
 }
 
 impl Ssd {
@@ -144,8 +166,16 @@ impl Ssd {
             pending: Vec::new(),
             next_op: 0,
             stats: SsdStats::default(),
+            integrity: false,
             profile,
         }
+    }
+
+    /// Turns the end-to-end integrity machinery on or off. With it off
+    /// (the default) writes are not checksummed, crashes do not tear,
+    /// and nothing here draws randomness or clones bytes.
+    pub fn set_integrity(&mut self, on: bool) {
+        self.integrity = on;
     }
 
     /// The device profile.
@@ -174,8 +204,14 @@ impl Ssd {
     }
 
     fn drain_entry_to_media(media: &mut BlockStore, e: CacheEntry) {
-        for (i, img) in e.images.into_iter().enumerate() {
-            media.write(e.lba + i as u64, img);
+        if e.crcs.is_empty() {
+            for (i, img) in e.images.into_iter().enumerate() {
+                media.write(e.lba + i as u64, img);
+            }
+        } else {
+            for (i, (img, crc)) in e.images.into_iter().zip(e.crcs).enumerate() {
+                media.write_sealed(e.lba + i as u64, img, crc);
+            }
         }
     }
 
@@ -230,11 +266,17 @@ impl Ssd {
         for ((done_at, _), op) in due_ops {
             self.update_drain(done_at);
             match op {
-                PendingOp::DurableWrite { lba, images } => {
+                PendingOp::DurableWrite { lba, images, crcs } => {
                     self.stats.writes += 1;
                     self.stats.blocks_written += images.len() as u64;
-                    for (i, img) in images.into_iter().enumerate() {
-                        self.media.write(lba + i as u64, img);
+                    if crcs.is_empty() {
+                        for (i, img) in images.into_iter().enumerate() {
+                            self.media.write(lba + i as u64, img);
+                        }
+                    } else {
+                        for (i, (img, crc)) in images.into_iter().zip(crcs).enumerate() {
+                            self.media.write_sealed(lba + i as u64, img, crc);
+                        }
                     }
                 }
                 PendingOp::CachedWrite { blocks } => {
@@ -328,14 +370,25 @@ impl Ssd {
         }
         let id = self.op_id();
         let durable_at_completion = self.profile.plp || fua;
+        // On integrity runs, seal each block with the CRC of the image
+        // the submitter intends to land.
+        let crcs: Vec<u32> = if self.integrity {
+            images
+                .iter()
+                .map(|img| crc32c(&img.to_bytes(BLOCK_SIZE as usize)))
+                .collect()
+        } else {
+            Vec::new()
+        };
         // The cache entry models occupancy and (for volatile drives)
         // holds the images until the drain or a FLUSH reaches them; on
         // the durable path the completion-time media write owns them.
-        let (entry_images, op) = if durable_at_completion {
-            (Vec::new(), PendingOp::DurableWrite { lba, images })
+        let (entry_images, entry_crcs, op) = if durable_at_completion {
+            (Vec::new(), Vec::new(), PendingOp::DurableWrite { lba, images, crcs })
         } else {
             (
                 images,
+                crcs,
                 PendingOp::CachedWrite {
                     blocks: blocks as u64,
                 },
@@ -344,6 +397,7 @@ impl Ssd {
         self.cache.push_back(CacheEntry {
             lba,
             images: entry_images,
+            crcs: entry_crcs,
             bytes,
             submitted_at: now,
             cached_at: completion,
@@ -485,10 +539,41 @@ impl Ssd {
     /// Simulates a power failure at `now`: volatile cache and in-flight
     /// commands are lost; media and PMR survive. On PLP drives the
     /// capacitors flush completed writes to media first.
-    pub fn crash(&mut self, now: SimTime) {
+    ///
+    /// On integrity runs the power cut additionally *tears* the write
+    /// the media was absorbing at the instant of failure: the leading
+    /// block of the oldest in-flight command (or, on volatile drives,
+    /// of the cache head mid-drain) lands half-written under the seal
+    /// its full image would have carried. Returns the number of torn
+    /// records (0 or 1 here; always 0 with integrity off).
+    pub fn crash(&mut self, now: SimTime) -> u64 {
         // Completed durable writes (PLP / FUA) land in media via advance;
         // volatile entries whose drain point was reached land there too.
         self.advance(now);
+        let mut torn = 0u64;
+        if self.integrity {
+            self.pending.sort_unstable_by_key(|(k, _)| *k);
+            let inflight = self.pending.iter().find_map(|(_, op)| match op {
+                PendingOp::DurableWrite { lba, images, crcs } if !crcs.is_empty() => {
+                    Some((*lba, images[0].clone(), crcs[0]))
+                }
+                _ => None,
+            });
+            let mid_drain = self
+                .cache
+                .front()
+                .filter(|e| !e.crcs.is_empty() && !e.images.is_empty())
+                .map(|e| (e.lba, e.images[0].clone(), e.crcs[0]));
+            if let Some((lba, img, seal)) = inflight.or(mid_drain) {
+                let mut bytes = img.to_bytes(BLOCK_SIZE as usize);
+                for b in &mut bytes[BLOCK_SIZE as usize / 2..] {
+                    *b = 0;
+                }
+                self.media
+                    .write_sealed(lba, BlockImage::Bytes(bytes.into_boxed_slice()), seal);
+                torn = 1;
+            }
+        }
         // Whatever is still in the volatile cache is lost. (PLP entries
         // carry no images; their durability was completion-time.)
         self.cache.clear();
@@ -500,6 +585,60 @@ impl Ssd {
         self.flush_busy_until = now;
         // Reads after restart observe only what survived.
         self.logical = self.media.clone();
+        torn
+    }
+
+    /// Flips one bit in each of up to `flips` *distinct* sealed media
+    /// blocks, leaving their seals untouched (at-rest bit rot). Returns
+    /// the number of blocks rotted — distinct blocks, and CRC-32C
+    /// catches every single-bit error, so a scrub detects exactly this
+    /// many. Draws from the device's deterministic jitter RNG.
+    pub fn rot_at_rest(&mut self, flips: u32) -> u64 {
+        if !self.integrity {
+            return 0;
+        }
+        let mut lbas = self.media.sealed_lbas();
+        let n = (flips as usize).min(lbas.len());
+        for i in 0..n {
+            let j = i + self.rng.below((lbas.len() - i) as u64) as usize;
+            lbas.swap(i, j);
+            let bit = self.rng.below(BLOCK_SIZE * 8) as usize;
+            self.media.flip_bit(lbas[i], bit, BLOCK_SIZE as usize);
+        }
+        n as u64
+    }
+
+    /// Re-checksums every sealed media block. Returns the number of
+    /// records scanned and the (ascending) addresses whose bytes no
+    /// longer match their seal — torn writes and bit rot.
+    pub fn scrub(&self) -> (u64, Vec<u64>) {
+        let lbas = self.media.sealed_lbas();
+        let mut corrupt = Vec::new();
+        for &lba in &lbas {
+            let seal = self.media.seal(lba).expect("sealed block has a seal");
+            let bytes = self.media.read(lba).to_bytes(BLOCK_SIZE as usize);
+            if crc32c(&bytes) != seal {
+                corrupt.push(lba);
+            }
+        }
+        (lbas.len() as u64, corrupt)
+    }
+
+    /// Whether every sealed media block still matches its seal (the
+    /// end-state check integrity tests run after a workload).
+    pub fn media_verified(&self) -> bool {
+        self.scrub().1.is_empty()
+    }
+
+    /// Whether every sealed media block is byte-for-byte the payload
+    /// image its embedded seed generates — i.e. exactly what some
+    /// submission produced. Only meaningful for stacks that write
+    /// [`rio_proto::payload`] blocks (seal checks alone cannot tell a
+    /// coherent wrong-data overwrite from the intended write).
+    pub fn payload_verified(&self) -> bool {
+        self.media.sealed_lbas().iter().all(|&lba| {
+            rio_proto::payload::verify_block(&self.media.read(lba).to_bytes(BLOCK_SIZE as usize))
+        })
     }
 
     /// Durable view of a block (what a post-crash read would return).
@@ -728,6 +867,120 @@ mod tests {
         let mut s = ssd(SsdProfile::pm981());
         let t0 = t(5);
         assert_eq!(s.quiesce(t0), t0);
+    }
+
+    #[test]
+    fn integrity_seals_landed_blocks_and_scrub_is_clean() {
+        let mut s = ssd(SsdProfile::optane905p());
+        s.set_integrity(true);
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        s.advance(done);
+        let (scanned, corrupt) = s.scrub();
+        assert_eq!(scanned, 1);
+        assert!(corrupt.is_empty());
+        assert!(s.media_verified());
+    }
+
+    #[test]
+    fn integrity_off_records_no_seals() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        s.advance(done);
+        assert_eq!(s.scrub(), (0, Vec::new()));
+    }
+
+    /// A block whose bytes are nonzero throughout, so a torn (half
+    /// written, half zero) landing is visibly different from the
+    /// intended image. Tag images have all-zero tails, which a tear
+    /// cannot corrupt — and should not report as corrupt.
+    fn noisy_block(fill: u8) -> Vec<BlockImage> {
+        vec![BlockImage::Bytes(
+            vec![fill | 1; BLOCK_SIZE as usize].into_boxed_slice(),
+        )]
+    }
+
+    #[test]
+    fn crash_tears_the_inflight_write_under_its_intended_seal() {
+        let mut s = ssd(SsdProfile::optane905p());
+        s.set_integrity(true);
+        let (_, d0) = s.submit_write(SimTime::ZERO, 1, noisy_block(7), false);
+        s.advance(d0);
+        let (_, done) = s.submit_write(d0, 5, noisy_block(9), false);
+        // Power cut mid-write: the in-flight command tears.
+        let torn = s.crash(SimTime::from_nanos(d0.as_nanos() / 2 + done.as_nanos() / 2));
+        assert_eq!(torn, 1);
+        let (scanned, corrupt) = s.scrub();
+        assert_eq!(scanned, 2, "settled block + torn block are sealed");
+        assert_eq!(corrupt, vec![5], "only the torn block mismatches");
+        assert!(!s.media_verified());
+        // The torn image is the half-written prefix of the intended one.
+        let bytes = s.durable_read(5).to_bytes(BLOCK_SIZE as usize);
+        assert_eq!(bytes[0], 9, "leading half landed");
+        assert!(bytes[2048..].iter().all(|&b| b == 0), "tail never landed");
+    }
+
+    #[test]
+    fn volatile_drain_head_tears_on_crash() {
+        let mut s = ssd(SsdProfile::pm981());
+        s.set_integrity(true);
+        let (_, w) = s.submit_write(SimTime::ZERO, 3, noisy_block(4), false);
+        let (_, f) = s.submit_flush(w);
+        s.advance(f);
+        // A fresh cached write sits at the cache head when power cuts.
+        let (_, done) = s.submit_write(f, 8, noisy_block(6), false);
+        let torn = s.crash(done + SimDuration::from_nanos(1));
+        assert_eq!(torn, 1);
+        let (_, corrupt) = s.scrub();
+        assert_eq!(corrupt, vec![8]);
+    }
+
+    #[test]
+    fn quiesced_crash_tears_nothing() {
+        let mut s = ssd(SsdProfile::optane905p());
+        s.set_integrity(true);
+        let (_, done) = s.submit_write(SimTime::ZERO, 5, one_block(9), false);
+        s.quiesce(done);
+        assert_eq!(s.crash(done), 0, "nothing in flight, nothing torn");
+        assert!(s.media_verified());
+    }
+
+    #[test]
+    fn rot_flips_distinct_sealed_blocks_and_scrub_finds_them_all() {
+        let mut s = ssd(SsdProfile::optane905p());
+        s.set_integrity(true);
+        let mut now = SimTime::ZERO;
+        for lba in 0..8 {
+            let (_, done) = s.submit_write(now, lba, one_block(lba), false);
+            now = done;
+        }
+        s.advance(now);
+        let rotted = s.rot_at_rest(3);
+        assert_eq!(rotted, 3);
+        let (scanned, corrupt) = s.scrub();
+        assert_eq!(scanned, 8);
+        assert_eq!(corrupt.len(), 3, "every rotted block detected");
+        // Asking for more rot than there are blocks caps out.
+        assert_eq!(s.rot_at_rest(100), 8 - 3 + 3);
+    }
+
+    #[test]
+    fn rot_is_a_no_op_with_integrity_off() {
+        let mut s = ssd(SsdProfile::optane905p());
+        let (_, done) = s.submit_write(SimTime::ZERO, 0, one_block(1), false);
+        s.advance(done);
+        assert_eq!(s.rot_at_rest(5), 0);
+    }
+
+    #[test]
+    fn discard_repairs_a_corrupt_block_by_removal() {
+        let mut s = ssd(SsdProfile::optane905p());
+        s.set_integrity(true);
+        let (_, done) = s.submit_write(SimTime::ZERO, 4, one_block(7), false);
+        s.advance(done);
+        s.rot_at_rest(1);
+        assert!(!s.media_verified());
+        s.submit_discard(done, 4, 1);
+        assert!(s.media_verified(), "discarded block no longer scrubbed");
     }
 
     #[test]

@@ -27,13 +27,17 @@ use rio_order::recovery::{RecoveryInput, RecoveryMode, RecoveryPlan, ServerScan}
 use rio_order::scheduler::{split_attr_into, OrderQueue, OrderQueueConfig};
 use rio_order::sequencer::SubmitOpts;
 use rio_order::{InOrderCompleter, Sequencer, SubmissionGate};
+use rio_proto::{payload, PayloadDigest};
 use rio_sim::{EventHeap, Histogram, SimDuration, SimRng, SimTime, Slab};
 use rio_ssd::{BlockImage, Ssd};
 
-use crate::config::{ClusterConfig, OrderingMode};
+use crate::config::{ClusterConfig, FaultKind, OrderingMode};
 use crate::cpu::CoreSet;
-use crate::crash::{DISCARD_US, DRAM_SCAN_US_PER_RECORD, MERGE_NS_PER_RECORD, PMR_SCAN_US_PER_SLOT};
-use crate::metrics::{EpochMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
+use crate::crash::{
+    DISCARD_US, DRAM_SCAN_US_PER_RECORD, MERGE_NS_PER_RECORD, PMR_SCAN_US_PER_SLOT,
+    SCRUB_US_PER_BLOCK,
+};
+use crate::metrics::{EpochMetrics, IntegrityMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
 use crate::trace::{Stage, StageTrace, TRACE_NONE};
 use crate::workload::{FsyncStage, GroupSpec, Workload};
 
@@ -108,6 +112,12 @@ struct Cmd {
     /// packets still undelivered, and the leg's total message size.
     retx_pkts: u32,
     retx_bytes: u64,
+    /// Whether the parked leg's failure was a detected corruption (as
+    /// opposed to a plain drop) — the latest failure wins.
+    retx_corrupt: bool,
+    /// CRC-32C over the command's payload seeds, stamped at submission
+    /// on integrity runs ([`PayloadDigest::NONE`] otherwise).
+    digest: PayloadDigest,
     /// PMR log slot holding this command's ordering record.
     slot: Option<SlotRef>,
     /// Stage-trace slot of this command ([`TRACE_NONE`] when tracing
@@ -334,6 +344,13 @@ pub struct Cluster {
     /// Per-command stage recorder (`None` = tracing off, zero cost).
     trace: Option<StageTrace>,
     last_completion: SimTime,
+    /// Whether end-to-end data integrity is modelled this run: payload
+    /// digests stamped at submission, real payload bytes at the device,
+    /// sealed media, and a scrub pass in every recovery.
+    integrity: bool,
+    /// Media-side integrity ledger (wire-side counters come from the
+    /// NICs at snapshot time).
+    integ: IntegrityMetrics,
     /// Whether per-thread replay buffers are maintained (fault plans).
     track_replay: bool,
     /// Next fault in `cfg.faults` that has not fired yet.
@@ -364,8 +381,16 @@ impl Cluster {
         );
         assert!(!cfg.targets.is_empty(), "need at least one target");
         if !cfg.faults.events.is_empty() {
+            // Pure packet-corruption faults only retune the fabric and
+            // work under any mode; everything else runs the recovery
+            // machinery, which only Rio's persisted attributes support.
+            let needs_recovery = cfg
+                .faults
+                .events
+                .iter()
+                .any(|e| !matches!(e.kind, FaultKind::PacketCorrupt { .. }));
             assert!(
-                matches!(cfg.mode, OrderingMode::Rio { .. }),
+                !needs_recovery || matches!(cfg.mode, OrderingMode::Rio { .. }),
                 "fault injection requires a Rio mode: recovery rebuilds \
                  the order from persisted attributes, which only Rio keeps"
             );
@@ -379,6 +404,12 @@ impl Cluster {
             }
         }
         let mut root_rng = SimRng::seed_from_u64(cfg.seed);
+        // Integrity is on when asked for explicitly, or implied by any
+        // corruption source: the run then carries real payload bytes
+        // end to end. Off, the data path is byte-identical to before.
+        let integrity = cfg.integrity
+            || cfg.net.corrupt_rate > 0.0
+            || cfg.faults.events.iter().any(|e| e.kind.needs_integrity());
         // The effective wire profile: base timing plus the transport
         // behavior (segmentation, loss, paths) from `cfg.net`.
         let wire = cfg.net.apply(cfg.fabric.clone());
@@ -404,7 +435,11 @@ impl Cluster {
                 let ssds: Vec<Ssd> = tc
                     .ssds
                     .iter()
-                    .map(|p| Ssd::new(p.clone(), root_rng.below(u64::MAX)))
+                    .map(|p| {
+                        let mut s = Ssd::new(p.clone(), root_rng.below(u64::MAX));
+                        s.set_integrity(integrity);
+                        s
+                    })
                     .collect();
                 let mut t = Target {
                     cores: CoreSet::new(tc.cores),
@@ -505,6 +540,8 @@ impl Cluster {
             stage_lat: Default::default(),
             trace,
             last_completion: SimTime::ZERO,
+            integrity,
+            integ: IntegrityMetrics::default(),
             track_replay: !cfg.faults.events.is_empty(),
             fault_cursor: 0,
             recoveries: Vec::new(),
@@ -524,6 +561,38 @@ impl Cluster {
     /// Runs the workload to completion — surviving any scheduled
     /// faults — and returns metrics.
     pub fn run(mut self) -> RunMetrics {
+        self.run_loop();
+        self.metrics()
+    }
+
+    /// Runs the workload, then asserts every target's media holds
+    /// exactly what was submitted before building metrics: every
+    /// sealed block matches its seal (no corrupt block survives a run
+    /// — all are detected and either rolled back + resubmitted or
+    /// discarded during recovery) and is byte-for-byte the payload its
+    /// embedded seed generates (recovered bytes == submitted bytes).
+    #[cfg(test)]
+    pub(crate) fn run_and_verify(mut self) -> RunMetrics {
+        self.run_loop();
+        let m = self.metrics();
+        for (t, target) in self.targets.iter().enumerate() {
+            for (s, ssd) in target.ssds.iter().enumerate() {
+                assert!(
+                    ssd.media_verified(),
+                    "corrupt block survived the run on target {t} ssd {s}"
+                );
+                assert!(
+                    ssd.payload_verified(),
+                    "media block differs from its submitted payload on target {t} ssd {s}"
+                );
+            }
+        }
+        m
+    }
+
+    /// The event loop body shared by [`Cluster::run`] and the
+    /// verifying test harness.
+    fn run_loop(&mut self) {
         self.start();
         loop {
             while let Some((now, ev)) = self.events.pop() {
@@ -542,7 +611,6 @@ impl Cluster {
                 break;
             }
         }
-        self.metrics()
     }
 
     /// Schedules the initial thread wake-ups and the fault plan.
@@ -601,6 +669,12 @@ impl Cluster {
         for t in &self.targets {
             net.absorb(&t.nic);
         }
+        // The media-side ledger accumulated during recoveries, plus the
+        // wire-side counters the NICs kept.
+        let mut integrity = self.integ;
+        integrity.wire_injected = net.corrupt_injected;
+        integrity.wire_detected = net.corrupt_detected;
+        integrity.wire_refetched = net.corrupt_refetched;
         // Close the open epoch. A fault with `resume: false` may leave
         // the resume instant past the last completion; the final epoch
         // is then empty, not negative.
@@ -626,6 +700,7 @@ impl Cluster {
             initiator_util: self.init_cores.utilization(span),
             target_util,
             net,
+            integrity,
             recoveries: self.recoveries.clone(),
             epochs,
             finished_at: self.last_completion,
@@ -864,6 +939,23 @@ impl Cluster {
             frag.range = ext.range;
             frag.ssd = ext.ssd as u8;
             self.sequencer.stamp_dispatch(frag, ext.server);
+            let tag = frag.seq_start.0 as u64;
+            let digest = if self.integrity {
+                // Stamp the command's payload digest at submission,
+                // charging the per-block CRC pass to the app core.
+                cpu = self.init_cores.run_on(
+                    self.threads[t].core,
+                    cpu,
+                    self.cfg.cpu.crc_per_block * ext.range.blocks as u64,
+                );
+                let stream = self.threads[t].stream.0;
+                let lba = ext.range.lba;
+                PayloadDigest::over_seeds(
+                    (0..ext.range.blocks as u64).map(|j| payload::seed_for(stream, tag, lba + j)),
+                )
+            } else {
+                PayloadDigest::NONE
+            };
             let stamped = cpu;
             cpu = self
                 .init_cores
@@ -879,7 +971,7 @@ impl Cluster {
                     ssd: ext.ssd,
                     qp,
                     phys: ext.range,
-                    tag: frag.seq_start.0 as u64,
+                    tag,
                     attr: Some(*frag),
                     flush_embedded: frag.flush,
                     unit: unit_id,
@@ -887,6 +979,8 @@ impl Cluster {
                     driver_ready: SimTime::FAR_FUTURE,
                     retx_pkts: 0,
                     retx_bytes: 0,
+                    retx_corrupt: false,
+                    digest,
                     slot: None,
                     trace: TRACE_NONE,
                 },
@@ -1009,6 +1103,21 @@ impl Cluster {
             submitted: cpu,
         });
         for ext in &extents {
+            let digest = if self.integrity {
+                cpu = self.init_cores.run_on(
+                    self.threads[t].core,
+                    cpu,
+                    self.cfg.cpu.crc_per_block * ext.range.blocks as u64,
+                );
+                let stream = self.threads[t].stream.0;
+                let lba = ext.range.lba;
+                PayloadDigest::over_seeds(
+                    (0..ext.range.blocks as u64)
+                        .map(|j| payload::seed_for(stream, unit_id, lba + j)),
+                )
+            } else {
+                PayloadDigest::NONE
+            };
             let stamped = cpu;
             cpu = self
                 .init_cores
@@ -1032,6 +1141,8 @@ impl Cluster {
                     driver_ready: SimTime::FAR_FUTURE,
                     retx_pkts: 0,
                     retx_bytes: 0,
+                    retx_corrupt: false,
+                    digest,
                     slot: None,
                     trace: TRACE_NONE,
                 },
@@ -1245,7 +1356,8 @@ impl Cluster {
             rio_net::XferStep::Dropped {
                 resume_at,
                 pkts_left,
-            } => self.park_retx(id, bytes, resume_at, pkts_left, retry),
+                corrupted,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, corrupted, retry),
         }
     }
 
@@ -1257,11 +1369,13 @@ impl Cluster {
         bytes: u64,
         resume_at: SimTime,
         pkts_left: u32,
+        corrupted: bool,
         retry: fn(u64) -> Event,
     ) {
         let cmd = self.cmds.get_mut(id).expect("cmd exists");
         cmd.retx_pkts = pkts_left;
         cmd.retx_bytes = bytes;
+        cmd.retx_corrupt = corrupted;
         self.events.push(resume_at, retry(id));
     }
 
@@ -1303,14 +1417,25 @@ impl Cluster {
     /// A command capsule's retransmission timeout fired: resend the
     /// window from the lost packet.
     fn on_cmd_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes, tid) = {
+        let (target, qp, pkts, bytes, tid, corrupt) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
+            (
+                cmd.target,
+                cmd.qp,
+                cmd.retx_pkts,
+                cmd.retx_bytes,
+                cmd.trace,
+                cmd.retx_corrupt,
+            )
         };
         if let Some(tr) = &mut self.trace {
             // The whole remaining window goes back on the wire this
             // round (go-back-N), each packet counted exactly once.
-            tr.retx(tid, pkts);
+            if corrupt {
+                tr.retx_corrupt(tid, pkts);
+            } else {
+                tr.retx(tid, pkts);
+            }
         }
         let qp = self.target_qp(target, qp);
         let step = self
@@ -1321,9 +1446,16 @@ impl Cluster {
 
     /// A data pull's retransmission timeout fired: resend the window.
     fn on_data_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes, tid) = {
+        let (target, qp, pkts, bytes, tid, corrupt) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
+            (
+                cmd.target,
+                cmd.qp,
+                cmd.retx_pkts,
+                cmd.retx_bytes,
+                cmd.trace,
+                cmd.retx_corrupt,
+            )
         };
         if let Some(tr) = &mut self.trace {
             // `pkts > packets_for(bytes)` encodes a lost pull *request*:
@@ -1332,7 +1464,12 @@ impl Cluster {
             // and must not be annotated (it is not counted as a wire
             // retransmission either).
             let wire = self.fabric.profile().packets_for(bytes);
-            tr.retx(tid, if pkts > wire { 1 } else { pkts });
+            let n = if pkts > wire { 1 } else { pkts };
+            if corrupt {
+                tr.retx_corrupt(tid, n);
+            } else {
+                tr.retx(tid, n);
+            }
         }
         let init_qp = self.target_qp(target, qp);
         match self.fabric.resume_pull(
@@ -1350,18 +1487,30 @@ impl Cluster {
             rio_net::XferStep::Dropped {
                 resume_at,
                 pkts_left,
-            } => self.park_retx(id, bytes, resume_at, pkts_left, Event::DataResend),
+                corrupted,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, corrupted, Event::DataResend),
         }
     }
 
     /// A completion capsule's retransmission timeout fired.
     fn on_comp_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes, tid) = {
+        let (target, qp, pkts, bytes, tid, corrupt) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.retx_pkts, cmd.retx_bytes, cmd.trace)
+            (
+                cmd.target,
+                cmd.qp,
+                cmd.retx_pkts,
+                cmd.retx_bytes,
+                cmd.trace,
+                cmd.retx_corrupt,
+            )
         };
         if let Some(tr) = &mut self.trace {
-            tr.retx(tid, pkts);
+            if corrupt {
+                tr.retx_corrupt(tid, pkts);
+            } else {
+                tr.retx(tid, pkts);
+            }
         }
         let step = self
             .fabric
@@ -1435,7 +1584,8 @@ impl Cluster {
             rio_net::XferStep::Dropped {
                 resume_at,
                 pkts_left,
-            } => self.park_retx(id, bytes, resume_at, pkts_left, Event::DataResend),
+                corrupted,
+            } => self.park_retx(id, bytes, resume_at, pkts_left, corrupted, Event::DataResend),
         }
 
         if let Some(attr) = attr {
@@ -1471,14 +1621,53 @@ impl Cluster {
     }
 
     /// Submits a command's write to its SSD at the event's instant.
+    ///
+    /// On integrity runs the target first re-derives the payload digest
+    /// over the pulled bytes and checks it against the capsule's stamp
+    /// (charging a per-block CRC pass). The fabric NAKs every corrupted
+    /// packet back into go-back-N recovery, so by construction the
+    /// check always passes here — the assert *is* the end-to-end
+    /// guarantee that no corrupted payload reaches media. The write
+    /// then carries real payload bytes, sealed on landing.
     fn on_ssd_submit(&mut self, now: SimTime, id: u64) {
-        let (target_idx, ssd_idx, lba, blocks, tag) = {
+        let (target_idx, ssd_idx, lba, blocks, tag, core, stream, digest) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.ssd, cmd.phys.lba, cmd.phys.blocks, cmd.tag)
+            let stream = cmd
+                .attr
+                .map(|a| a.stream.0)
+                .unwrap_or(self.threads[cmd.thread].stream.0);
+            (
+                cmd.target,
+                cmd.ssd,
+                cmd.phys.lba,
+                cmd.phys.blocks,
+                cmd.tag,
+                cmd.qp,
+                stream,
+                cmd.digest,
+            )
         };
-        let images = vec![BlockImage::Tag(tag); blocks as usize];
+        let (at, images) = if self.integrity {
+            let at = self.targets[target_idx].cores.run_on(
+                core,
+                now,
+                self.cfg.cpu.crc_per_block * blocks as u64,
+            );
+            let seeds = (0..blocks as u64).map(|j| payload::seed_for(stream, tag, lba + j));
+            assert_eq!(
+                PayloadDigest::over_seeds(seeds.clone()),
+                digest,
+                "corrupted payload reached the target SSD queue"
+            );
+            let images = seeds
+                .map(|s| BlockImage::Bytes(payload::block_for(s)))
+                .collect();
+            (at, images)
+        } else {
+            (now, vec![BlockImage::Tag(tag); blocks as usize])
+        };
         let (_op, done) =
-            self.targets[target_idx].ssds[ssd_idx].submit_write(now, lba, images, false);
+            self.targets[target_idx].ssds[ssd_idx].submit_write(at, lba, images, false);
         self.events.push(done, Event::SsdWriteDone(id));
     }
 
@@ -1773,6 +1962,8 @@ impl Cluster {
             driver_ready: SimTime::FAR_FUTURE,
             retx_pkts: 0,
             retx_bytes: 0,
+            retx_corrupt: false,
+            digest: PayloadDigest::NONE,
             slot: None,
             trace: TRACE_NONE,
         };
@@ -1843,6 +2034,14 @@ impl Cluster {
     fn on_fault(&mut self, now: SimTime, idx: usize) {
         self.fault_cursor = idx + 1;
         let ev = self.cfg.faults.events[idx].clone();
+        // A packet-corruption fault only retunes the fabric's per-packet
+        // corruption rate mid-run: nothing crashes, no epoch closes, and
+        // every in-flight transfer keeps going (corrupted packets are
+        // caught by the receiver CRC and NAKed into go-back-N recovery).
+        if let FaultKind::PacketCorrupt { rate } = &ev.kind {
+            self.fabric.set_corrupt_rate(*rate);
+            return;
+        }
         let crashed = ev.kind.hit_targets(self.targets.len());
         let power_fail = ev.kind.is_power_fail();
 
@@ -1877,11 +2076,15 @@ impl Cluster {
         // recovery died with their resend events, which is exactly the
         // state `crash_reset` forgets.
         if power_fail {
+            // On integrity runs the power cut tears the write each SSD
+            // was absorbing (half-landed bytes under the intended seal).
+            let mut torn = 0u64;
             for &t in &crashed {
                 for ssd in &mut self.targets[t].ssds {
-                    ssd.crash(now);
+                    torn += ssd.crash(now);
                 }
             }
+            self.integ.torn_injected += torn;
         }
         for t in &mut self.targets {
             t.nic.crash_reset(now);
@@ -1900,6 +2103,21 @@ impl Cluster {
             for ssd in &mut target.ssds {
                 quiesced = quiesced.max(ssd.quiesce(now));
             }
+        }
+
+        // Bit rot strikes *after* the quiesce settles outstanding
+        // writes: flips land on data at rest, one bit in each of up to
+        // `flips` distinct sealed blocks per SSD of the hit targets
+        // (single-bit errors are exactly what CRC-32C always catches,
+        // so every injected flip is detectable by the scrub below).
+        if let FaultKind::BitRot { flips, .. } = &ev.kind {
+            let mut rotted = 0u64;
+            for &t in &crashed {
+                for ssd in &mut self.targets[t].ssds {
+                    rotted += ssd.rot_at_rest(*flips);
+                }
+            }
+            self.integ.rot_injected += rotted;
         }
 
         // ---- Phase 1: rebuild the global order ------------------------
@@ -1949,10 +2167,73 @@ impl Cluster {
             mode: RecoveryMode::InitiatorRestart,
         });
 
+        // ---- Integrity scrub (before any discard) ---------------------
+        // Every sealed media block is re-checksummed — in parallel per
+        // SSD — and mismatches are classified *before* Phase 2 runs: a
+        // discard erases a block's seal, so scrubbing later would
+        // under-count. A corrupt block still owned by a
+        // submitted-but-undelivered group is repairable: the stream's
+        // redelivery cut drops below that group, rolling it back for
+        // resubmission with fresh bytes (exactly-once is preserved —
+        // the group was never delivered). A corrupt block outside any
+        // tracked group (e.g. rot on already-delivered data) is
+        // unrepairable data loss: reported and discarded.
+        let mut repair_cut = vec![u32::MAX; self.cfg.streams];
+        let mut extra_discards: Vec<(usize, usize, u64)> = Vec::new();
+        let mut scrub_parallel = SimDuration::ZERO;
+        if self.integrity {
+            let mut scrubbed = 0u64;
+            let mut detected = 0u64;
+            let mut repaired = 0u64;
+            let mut unrepairable = 0u64;
+            // Physical legs were registered target-major, SSD-minor —
+            // the same nested order as this walk.
+            let mut leg = 0usize;
+            for (t, target) in self.targets.iter().enumerate() {
+                for (s_idx, ssd) in target.ssds.iter().enumerate() {
+                    let (scanned, corrupt) = ssd.scrub();
+                    scrubbed += scanned;
+                    scrub_parallel = scrub_parallel.max(SimDuration::from_micros_f64(
+                        scanned as f64 * SCRUB_US_PER_BLOCK,
+                    ));
+                    for &plba in &corrupt {
+                        detected += 1;
+                        let logical = self.volume.logical_of(leg, plba);
+                        let mut owner = None;
+                        'find: for th in &self.threads {
+                            for &(seq, ref spec) in &th.replay {
+                                for m in &spec.members {
+                                    if logical >= m.range.lba
+                                        && logical < m.range.lba + m.range.blocks as u64
+                                    {
+                                        owner = Some((th.stream.0 as usize, seq));
+                                        break 'find;
+                                    }
+                                }
+                            }
+                        }
+                        if let Some((s, seq)) = owner {
+                            repaired += 1;
+                            repair_cut[s] = repair_cut[s].min(seq.saturating_sub(1));
+                        } else {
+                            unrepairable += 1;
+                        }
+                        extra_discards.push((t, s_idx, plba));
+                    }
+                    leg += 1;
+                }
+            }
+            self.integ.scrubbed_records += scrubbed;
+            self.integ.media_detected += detected;
+            self.integ.media_repaired += repaired;
+            self.integ.media_unrepairable += unrepairable;
+            self.integ.scrub_us += scrub_parallel.as_nanos() as f64 / 1e3;
+        }
+
         // ---- Phase 2: discard out-of-order blocks ---------------------
         // Discards run concurrently per (server, ssd); within one SSD
         // they serialize at DISCARD_US plus one wire round trip.
-        let t_disc = (now + order_rebuild).max(quiesced);
+        let t_disc = (now + order_rebuild + scrub_parallel).max(quiesced);
         for target in &mut self.targets {
             for ssd in &mut target.ssds {
                 ssd.advance(t_disc);
@@ -1971,6 +2252,14 @@ impl Cluster {
                 ssd.submit_discard(t_disc, d.range.lba, d.range.blocks);
             }
         }
+        // Scrub-detected corrupt blocks are discarded too: a repairable
+        // block's group resubmits fresh bytes, an unrepairable block
+        // must at least never read back with a valid-looking payload.
+        for &(t, s_idx, plba) in &extra_discards {
+            discards += 1;
+            *per_ssd_counts.entry((t, s_idx)).or_insert(0) += 1;
+            self.targets[t].ssds[s_idx].submit_discard(t_disc, plba, 1);
+        }
         let data_recovery = per_ssd_counts
             .values()
             .map(|&n| SimDuration::from_micros_f64(n as f64 * DISCARD_US + 2.0 * one_way_us))
@@ -1981,7 +2270,7 @@ impl Cluster {
         // ---- Re-arm and resume (or halt for one-shot experiments) -----
         let mut streams = Vec::new();
         if ev.resume {
-            self.reset_after_recovery(&plan, resumed_at, &mut streams);
+            self.reset_after_recovery(&plan, &repair_cut, resumed_at, &mut streams);
         } else {
             for s in 0..self.cfg.streams {
                 let stream = StreamId(s as u16);
@@ -2035,6 +2324,7 @@ impl Cluster {
     fn reset_after_recovery(
         &mut self,
         plan: &RecoveryPlan,
+        repair_cut: &[u32],
         resumed_at: SimTime,
         out: &mut Vec<StreamRecovery>,
     ) {
@@ -2046,6 +2336,10 @@ impl Cluster {
             let delivered = self.released_through[s];
             let sp = plan.stream(stream);
             let valid = sp.map(|p| p.valid_through.0).unwrap_or(delivered);
+            // The scrub may pull the redelivery cut *below* the plan's
+            // valid mark: a durable-but-corrupt (torn/rotted) group
+            // must roll back and resubmit instead of redelivering.
+            let valid = valid.min(repair_cut[s]);
             // The new epoch opens above everything the app saw complete
             // AND everything the storage kept: on volatile drives the
             // prefix can cut below the delivered mark (acked data was
@@ -2103,8 +2397,18 @@ impl Cluster {
             }
 
             // 3. Re-seed sequencer, completer and release bookkeeping.
+            // When the scrub cut the resume point below the plan's, the
+            // plan's per-target `resume_prev` marks may reference seqs
+            // beyond it — seqs that roll back and will redispatch under
+            // *new* numbers. Clamp them: a fresh gate waiting on such a
+            // seq would buffer forever.
             let resume_prev: Vec<Seq> = sp
-                .map(|p| p.resume_prev.clone())
+                .map(|p| {
+                    p.resume_prev
+                        .iter()
+                        .map(|q| Seq(q.0.min(resume)))
+                        .collect()
+                })
                 .unwrap_or_else(|| vec![Seq::HEAD; self.targets.len()]);
             self.sequencer
                 .reset_stream(stream, Seq(resume + 1), &resume_prev);
@@ -2187,6 +2491,7 @@ mod tests {
             max_inflight_per_stream: 16,
             plug_merge: true,
             pin_stream_to_qp: true,
+            integrity: false,
             faults: FaultPlan::none(),
             trace: None,
         }
@@ -2488,6 +2793,7 @@ mod tests {
             max_inflight_per_stream: 16,
             plug_merge: true,
             pin_stream_to_qp: true,
+            integrity: false,
             faults: FaultPlan::none(),
             trace: None,
         }
@@ -2680,6 +2986,207 @@ mod tests {
             }
             for sp in &r.plan.streams {
                 prop_assert!(sp.valid_through >= sp.resume_head);
+            }
+
+            // Same scenario with end-to-end integrity on: every sealed
+            // media block must read back byte-for-byte as submitted
+            // (recovered payload == submitted payload), with a clean
+            // corruption ledger.
+            let mut verified = cfg;
+            verified.integrity = true;
+            verified.faults = FaultPlan::survivable_crash(crash_at, targets);
+            let v = Cluster::new(verified, Workload::fsync_append(threads, ops))
+                .run_and_verify();
+            prop_assert_eq!(v.ops_done, threads as u64 * ops);
+            prop_assert_eq!(v.groups_done, baseline.groups_done);
+            prop_assert!(v.integrity.balanced(), "ledger: {:?}", v.integrity);
+        }
+    }
+
+    // ---- end-to-end data integrity ----------------------------------------
+
+    #[test]
+    fn integrity_off_keeps_the_ledger_empty() {
+        let m = run(OrderingMode::Rio { merge: true }, 2, 200);
+        assert_eq!(m.integrity, IntegrityMetrics::default());
+    }
+
+    #[test]
+    fn integrity_on_clean_run_lands_verified_payloads() {
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 2);
+        cfg.integrity = true;
+        let m = Cluster::new(cfg, Workload::random_4k(2, 200)).run_and_verify();
+        assert_eq!(m.groups_done, 400);
+        assert_eq!(m.integrity.injected(), 0, "nothing injected: {:?}", m.integrity);
+        assert!(m.integrity.balanced());
+    }
+
+    #[test]
+    fn wire_corruption_is_detected_refetched_and_never_delivered() {
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, 2);
+        cfg.net.corrupt_rate = 0.01;
+        let m = Cluster::new(cfg, Workload::random_4k(2, 400)).run_and_verify();
+        assert_eq!(m.groups_done, 800, "corruption must not lose groups");
+        assert!(m.integrity.wire_injected > 0, "1% corruption must strike");
+        assert_eq!(
+            m.integrity.wire_injected, m.integrity.wire_detected,
+            "every corrupted packet is caught by the receiver CRC"
+        );
+        assert!(
+            m.integrity.wire_refetched >= m.integrity.wire_detected,
+            "go-back-N re-fetches at least the corrupted packet"
+        );
+        assert!(m.net.retx_rounds > 0, "NAKs enter the recovery machinery");
+        assert!(m.recoveries.is_empty(), "wire corruption needs no recovery");
+        assert!(m.integrity.balanced());
+    }
+
+    #[test]
+    fn packet_corrupt_fault_turns_corruption_on_mid_run() {
+        let threads = 2usize;
+        let groups = 400u64;
+        let baseline = Cluster::new(
+            small_cfg(OrderingMode::Rio { merge: true }, threads),
+            Workload::random_4k(threads, groups),
+        )
+        .run();
+        let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, threads);
+        cfg.faults = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_nanos(baseline.finished_at.as_nanos() / 2),
+                kind: FaultKind::PacketCorrupt { rate: 0.05 },
+                resume: true,
+            }],
+        };
+        let m = Cluster::new(cfg, Workload::random_4k(threads, groups)).run_and_verify();
+        assert_eq!(m.groups_done, threads as u64 * groups);
+        assert!(
+            m.integrity.wire_injected > 0,
+            "the second half of the run must see corruption"
+        );
+        assert!(m.recoveries.is_empty(), "a rate change is not a crash");
+        assert_eq!(m.epochs.len(), 1, "no epoch closes on a rate change");
+        assert!(m.integrity.balanced());
+    }
+
+    #[test]
+    fn torn_write_tears_are_scrubbed_and_repaired() {
+        let threads = 2usize;
+        let groups = 600u64;
+        // Volatile-cache drives: the write cache is essentially never
+        // empty mid-run, so the power cut reliably catches a write
+        // mid-drain and tears it. (A PLP Optane completes writes in
+        // microseconds and may be idle at any given instant.)
+        let volatile = |mut cfg: ClusterConfig| {
+            for t in &mut cfg.targets {
+                t.ssds = vec![SsdProfile::pm981()];
+            }
+            cfg
+        };
+        let baseline = Cluster::new(
+            volatile(two_target_cfg(threads)),
+            Workload::random_4k(threads, groups),
+        )
+        .run();
+        let mut cfg = volatile(two_target_cfg(threads));
+        cfg.integrity = true;
+        cfg.faults = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_nanos(baseline.finished_at.as_nanos() / 2),
+                kind: FaultKind::TornWrite { targets: vec![1] },
+                resume: true,
+            }],
+        };
+        let m = Cluster::new(cfg, Workload::random_4k(threads, groups)).run_and_verify();
+        assert_eq!(m.groups_done, threads as u64 * groups, "exactly once");
+        assert_eq!(m.recoveries.len(), 1);
+        assert!(m.recoveries[0].power_fail, "a torn write rides a power cut");
+        assert!(
+            m.integrity.torn_injected >= 1,
+            "a mid-flight power cut tears the in-flight write"
+        );
+        assert!(m.integrity.balanced(), "ledger: {:?}", m.integrity);
+        assert!(m.integrity.scrubbed_records > 0);
+        assert!(m.integrity.scrub_us > 0.0);
+    }
+
+    #[test]
+    fn bit_rot_is_detected_and_repaired_or_reported() {
+        let threads = 2usize;
+        let groups = 600u64;
+        let baseline = Cluster::new(
+            two_target_cfg(threads),
+            Workload::random_4k(threads, groups),
+        )
+        .run();
+        let mut cfg = two_target_cfg(threads);
+        cfg.faults = FaultPlan {
+            events: vec![FaultEvent {
+                at: SimTime::from_nanos(baseline.finished_at.as_nanos() / 2),
+                kind: FaultKind::BitRot {
+                    targets: Vec::new(),
+                    flips: 3,
+                },
+                resume: true,
+            }],
+        };
+        let m = Cluster::new(cfg, Workload::random_4k(threads, groups)).run_and_verify();
+        assert_eq!(m.groups_done, threads as u64 * groups, "exactly once");
+        assert_eq!(m.recoveries.len(), 1);
+        assert!(!m.recoveries[0].power_fail, "rot strikes powered media");
+        assert!(m.integrity.rot_injected > 0, "flips must land");
+        assert_eq!(
+            m.integrity.media_detected,
+            m.integrity.torn_injected + m.integrity.rot_injected,
+            "the scrub finds every injected media corruption"
+        );
+        assert_eq!(
+            m.integrity.media_detected,
+            m.integrity.media_repaired + m.integrity.media_unrepairable,
+            "every detected block is repaired or written off"
+        );
+        assert!(m.integrity.balanced());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// The headline guarantee: under any combination of packet
+        /// corruption, packet loss and multi-path layout, in every
+        /// ordering mode, no corrupted payload is ever delivered —
+        /// every injected corruption is detected, every group
+        /// completes exactly once, and the media ends byte-for-byte
+        /// equal to what was submitted.
+        #[test]
+        fn prop_corruption_never_delivered(
+            corrupt in 0.0f64..0.2,
+            loss in 0.0f64..0.05,
+            paths_sel in 0usize..3,
+            seed in any::<u64>(),
+        ) {
+            let paths = [1usize, 2, 4][paths_sel];
+            for mode in [
+                OrderingMode::Orderless,
+                OrderingMode::LinuxNvmf,
+                OrderingMode::Horae,
+                OrderingMode::Rio { merge: true },
+            ] {
+                let groups = if mode == OrderingMode::LinuxNvmf { 15 } else { 60 };
+                let mut cfg = small_cfg(mode.clone(), 2);
+                cfg.seed = seed;
+                cfg.net = FabricConfig::lossy(loss, paths);
+                cfg.net.corrupt_rate = corrupt;
+                cfg.net.rto_us = 25.0;
+                let m = Cluster::new(cfg, Workload::random_4k(2, groups)).run_and_verify();
+                prop_assert_eq!(m.groups_done, 2 * groups, "{} lost groups", mode.label());
+                prop_assert_eq!(
+                    m.integrity.wire_injected, m.integrity.wire_detected,
+                    "{}: corruption slipped past the receiver CRC", mode.label()
+                );
+                prop_assert!(
+                    m.integrity.balanced(),
+                    "{}: unbalanced ledger {:?}", mode.label(), m.integrity
+                );
             }
         }
     }

@@ -50,6 +50,12 @@ pub struct FabricConfig {
     /// Per-packet drop probability (clamped to `[0, 0.995]` by the
     /// fabric so go-back-N recovery terminates).
     pub loss_rate: f64,
+    /// Per-packet in-flight corruption probability (clamped like
+    /// `loss_rate`). A corrupted packet is delivered, caught by the
+    /// receiver's payload digest check, and NAKed into the same
+    /// go-back-N recovery a drop takes. Non-zero rates force
+    /// integrity checking on (see [`ClusterConfig::integrity`]).
+    pub corrupt_rate: f64,
     /// Maximum transmission unit in bytes; messages are segmented into
     /// packets of at most this size.
     pub mtu_bytes: u32,
@@ -71,6 +77,7 @@ impl Default for FabricConfig {
     fn default() -> Self {
         FabricConfig {
             loss_rate: 0.0,
+            corrupt_rate: 0.0,
             mtu_bytes: 4096,
             rto_us: 25.0,
             paths: 1,
@@ -96,6 +103,7 @@ impl FabricConfig {
         let mut p = base
             .with_mtu(self.mtu_bytes)
             .with_loss(self.loss_rate, self.rto_us)
+            .with_corruption(self.corrupt_rate)
             .with_migration(self.migrate_every);
         if self.paths > 1 {
             p = p.with_paths(self.paths, self.path_latency_spread);
@@ -128,21 +136,68 @@ pub enum FaultKind {
         /// The target whose NIC resets.
         target: usize,
     },
+    /// The fabric starts corrupting packets in flight at `rate` from
+    /// this instant on. Nothing crashes and no recovery runs — the
+    /// receiver-side digest checks catch every corrupted packet and
+    /// NAK it into go-back-N retransmission; this fault only turns the
+    /// corruption source on (or off, with `rate` 0) mid-run.
+    PacketCorrupt {
+        /// The per-packet corruption probability from now on.
+        rate: f64,
+    },
+    /// Power failure that additionally tears the record a crashed
+    /// SSD was mid-write: the first block of the oldest in-flight
+    /// write lands half-old half-new under its intended checksum, so
+    /// the post-recovery scrub must find and repair it. Empty list =
+    /// all targets, like [`FaultKind::PowerFail`].
+    TornWrite {
+        /// Target indices to crash (empty = all).
+        targets: Vec<usize>,
+    },
+    /// At-rest bit rot on the listed targets: up to `flips` sealed
+    /// media records get one bit flipped each, seals kept. No power is
+    /// lost — the fault runs the recovery protocol only to drive the
+    /// integrity scrub that detects and repairs (or reports) the rot.
+    BitRot {
+        /// Target indices hit (empty = all).
+        targets: Vec<usize>,
+        /// Maximum records to corrupt per SSD.
+        flips: u32,
+    },
 }
 
 impl FaultKind {
     /// The targets this fault hits, resolved against `n_targets`.
     pub fn hit_targets(&self, n_targets: usize) -> Vec<usize> {
         match self {
-            FaultKind::PowerFail { targets } if targets.is_empty() => (0..n_targets).collect(),
-            FaultKind::PowerFail { targets } => targets.clone(),
+            FaultKind::PowerFail { targets } | FaultKind::TornWrite { targets }
+                if targets.is_empty() =>
+            {
+                (0..n_targets).collect()
+            }
+            FaultKind::PowerFail { targets } | FaultKind::TornWrite { targets } => targets.clone(),
             FaultKind::NicReset { target } => vec![*target],
+            FaultKind::PacketCorrupt { .. } => Vec::new(),
+            FaultKind::BitRot { targets, .. } if targets.is_empty() => (0..n_targets).collect(),
+            FaultKind::BitRot { targets, .. } => targets.clone(),
         }
     }
 
     /// Whether SSD state dies with this fault.
     pub fn is_power_fail(&self) -> bool {
-        matches!(self, FaultKind::PowerFail { .. })
+        matches!(
+            self,
+            FaultKind::PowerFail { .. } | FaultKind::TornWrite { .. }
+        )
+    }
+
+    /// Whether this fault needs per-block integrity machinery (payload
+    /// digests, media seals, post-recovery scrub) to be observable.
+    pub fn needs_integrity(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::PacketCorrupt { .. } | FaultKind::TornWrite { .. } | FaultKind::BitRot { .. }
+        )
     }
 }
 
@@ -254,6 +309,11 @@ pub struct CpuCosts {
     /// on the synchronous path. Calibrated so Horae needs many cores to
     /// drive an SSD, as in §3.1 (see EXPERIMENTS.md).
     pub horae_ctrl_gap: u64,
+    /// CRC-32C digest work per 4 KB payload block (hardware CRC32
+    /// instructions stream ~2-3 bytes/cycle; 4 KB lands around 1.5 µs
+    /// on one core). Charged at submission stamping and target-side
+    /// verification, only when integrity checking is on.
+    pub crc_per_block: u64,
 }
 
 impl Default for CpuCosts {
@@ -272,6 +332,7 @@ impl Default for CpuCosts {
             horae_ctrl_post: 650,
             horae_ctrl_handle: 2_000,
             horae_ctrl_gap: 14_000,
+            crc_per_block: 1_500,
         }
     }
 }
@@ -311,6 +372,16 @@ pub struct ClusterConfig {
     /// Disabling it scatters commands across queue pairs — an ablation
     /// that shows the gate absorbing network reordering.
     pub pin_stream_to_qp: bool,
+    /// End-to-end data integrity checking: per-command payload
+    /// digests stamped at submission and verified at the target, real
+    /// payload bytes (not compact tags) landing on media under
+    /// CRC-32C seals, and a post-recovery scrub pass. Forced on when
+    /// the fabric corrupts packets or the fault plan injects
+    /// torn-write/bit-rot/corruption faults; when off (the default)
+    /// the machinery draws no RNG, charges no CPU and allocates no
+    /// payload bytes, so runs replay byte-identically to builds
+    /// without it.
+    pub integrity: bool,
     /// Fault-injection plan (empty = no faults). Requires a Rio mode
     /// when non-empty.
     pub faults: FaultPlan,
@@ -340,6 +411,7 @@ impl ClusterConfig {
             max_inflight_per_stream: 48,
             plug_merge: true,
             pin_stream_to_qp: true,
+            integrity: false,
             faults: FaultPlan::none(),
             trace: None,
         }
@@ -370,6 +442,7 @@ impl ClusterConfig {
             max_inflight_per_stream: 48,
             plug_merge: true,
             pin_stream_to_qp: true,
+            integrity: false,
             faults: FaultPlan::none(),
             trace: None,
         }

@@ -57,6 +57,11 @@ pub const MERGE_NS_PER_RECORD: u64 = 350;
 /// devices (calibrated against the paper's ~125 ms data recovery).
 pub const DISCARD_US: f64 = 150.0;
 
+/// Cost of verifying one sealed media block during the post-quiesce
+/// integrity scrub (µs): a 4 KB read plus a CRC-32C pass. Paid only on
+/// integrity runs, in parallel per SSD.
+pub const SCRUB_US_PER_BLOCK: f64 = 2.0;
+
 /// Outcome of one crash-recovery run.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
@@ -162,6 +167,7 @@ mod tests {
             max_inflight_per_stream: 16,
             plug_merge: true,
             pin_stream_to_qp: true,
+            integrity: false,
             faults: FaultPlan::none(),
             trace: None,
         }

@@ -44,6 +44,8 @@ pub use config::{
     ClusterConfig, CpuCosts, FabricConfig, FaultEvent, FaultKind, FaultPlan, OrderingMode,
     TargetConfig,
 };
-pub use metrics::{EpochMetrics, NetMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
+pub use metrics::{
+    EpochMetrics, IntegrityMetrics, NetMetrics, RecoveryMetrics, RunMetrics, StreamRecovery,
+};
 pub use trace::{CmdTraceRecord, LatencyBreakdown, Stage, TraceConfig};
 pub use workload::Workload;

@@ -26,6 +26,15 @@ pub struct NetMetrics {
     /// unlike a max it cannot under-report several NICs retransmitting
     /// at once).
     pub retx_inflight_peak: u64,
+    /// Packets the fabric corrupted in flight.
+    pub corrupt_injected: u64,
+    /// Corrupted packets caught by receiver digest checks and NAKed.
+    /// Always equals [`NetMetrics::corrupt_injected`] — the model
+    /// delivers no silent wire corruption; keeping both makes the
+    /// ledger explicit.
+    pub corrupt_detected: u64,
+    /// Packets re-fetched because a corruption cut a go-back-N window.
+    pub corrupt_refetched: u64,
     /// Per-path transmit statistics, aggregated across NICs by path
     /// index (index 0 is every NIC's fastest path).
     pub per_path: Vec<PathStats>,
@@ -41,6 +50,9 @@ impl NetMetrics {
         self.retransmits += s.retransmits;
         self.retx_rounds += s.retx_rounds;
         self.retx_inflight_peak += s.retx_inflight_peak;
+        self.corrupt_injected += s.corrupt_injected;
+        self.corrupt_detected += s.corrupt_detected;
+        self.corrupt_refetched += s.corrupt_refetched;
         for (i, p) in nic.path_stats().into_iter().enumerate() {
             if self.per_path.len() <= i {
                 self.per_path.resize_with(i + 1, PathStats::default);
@@ -59,6 +71,65 @@ impl NetMetrics {
             return 0.0;
         }
         self.drops as f64 / self.packets as f64
+    }
+}
+
+/// End-to-end data-integrity ledger of one run: every corruption the
+/// run injected (wire, torn write, bit rot), what detected it, and how
+/// it was resolved. All zeros when integrity checking is off.
+///
+/// The standing invariant the proptests pin down: nothing corrupt is
+/// ever delivered — wire corruptions are all detected and re-fetched
+/// (`wire_injected == wire_detected`), and media corruptions are all
+/// found by the scrub and either repaired by re-execution/redelivery
+/// of the covering group or counted unrepairable
+/// (`torn_injected + rot_injected == media_detected ==
+/// media_repaired + media_unrepairable`).
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct IntegrityMetrics {
+    /// Packets corrupted in flight by the fabric.
+    pub wire_injected: u64,
+    /// Wire corruptions caught by receiver digest checks (== injected).
+    pub wire_detected: u64,
+    /// Packets re-fetched to replace corrupted-and-NAKed windows.
+    pub wire_refetched: u64,
+    /// Media records torn by power failure mid-write.
+    pub torn_injected: u64,
+    /// Media records hit by at-rest bit rot.
+    pub rot_injected: u64,
+    /// Media records whose checksum failed the post-recovery scrub.
+    pub media_detected: u64,
+    /// Corrupt media records repaired: their block is discarded and
+    /// the covering group re-executed or redelivered from the durable
+    /// prefix, exactly-once preserved.
+    pub media_repaired: u64,
+    /// Corrupt media records that held already-delivered data with no
+    /// surviving copy (bit rot under a delivered group): detected,
+    /// purged, and reported — the honest data-loss count.
+    pub media_unrepairable: u64,
+    /// Media records scanned by scrub passes.
+    pub scrubbed_records: u64,
+    /// Virtual microseconds spent in scrub passes.
+    pub scrub_us: f64,
+}
+
+impl IntegrityMetrics {
+    /// Total corruptions injected anywhere (wire + media).
+    pub fn injected(&self) -> u64 {
+        self.wire_injected + self.torn_injected + self.rot_injected
+    }
+
+    /// Total corruptions detected by a checksum check.
+    pub fn detected(&self) -> u64 {
+        self.wire_detected + self.media_detected
+    }
+
+    /// Whether the ledger balances: every injection detected, every
+    /// detection resolved.
+    pub fn balanced(&self) -> bool {
+        self.wire_injected == self.wire_detected
+            && self.torn_injected + self.rot_injected == self.media_detected
+            && self.media_detected == self.media_repaired + self.media_unrepairable
     }
 }
 
@@ -176,6 +247,9 @@ pub struct RunMetrics {
     pub target_util: f64,
     /// Fabric counters: packets, drops, retransmissions, per-path load.
     pub net: NetMetrics,
+    /// Data-integrity ledger (all zeros when integrity checking was
+    /// off for the run).
+    pub integrity: IntegrityMetrics,
     /// One breakdown per fault the run survived (empty without a
     /// [`crate::config::FaultPlan`]).
     pub recoveries: Vec<RecoveryMetrics>,
@@ -256,6 +330,7 @@ mod tests {
             initiator_util: util,
             target_util: util / 2.0,
             net: NetMetrics::default(),
+            integrity: IntegrityMetrics::default(),
             recoveries: Vec::new(),
             epochs: Vec::new(),
             finished_at: SimTime::ZERO,
@@ -302,6 +377,34 @@ mod tests {
             ops_done: 0,
         };
         assert_eq!(empty.block_iops(), 0.0);
+    }
+
+    #[test]
+    fn integrity_ledger_balance() {
+        let zero = IntegrityMetrics::default();
+        assert!(zero.balanced(), "the all-zero ledger balances");
+        assert_eq!(zero.injected(), 0);
+        let ok = IntegrityMetrics {
+            wire_injected: 3,
+            wire_detected: 3,
+            wire_refetched: 7,
+            torn_injected: 1,
+            rot_injected: 2,
+            media_detected: 3,
+            media_repaired: 2,
+            media_unrepairable: 1,
+            scrubbed_records: 100,
+            scrub_us: 200.0,
+        };
+        assert!(ok.balanced());
+        assert_eq!(ok.injected(), 6);
+        assert_eq!(ok.detected(), 6);
+        let silent = IntegrityMetrics {
+            media_detected: 0, // a torn record nobody detected
+            torn_injected: 1,
+            ..IntegrityMetrics::default()
+        };
+        assert!(!silent.balanced(), "undetected corruption must unbalance");
     }
 
     #[test]

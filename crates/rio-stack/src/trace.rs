@@ -114,6 +114,12 @@ pub struct CmdTraceRecord {
     /// wire retransmission is counted exactly once, so these sum to
     /// the NIC-level retransmit counter.
     pub retx_pkts: u32,
+    /// The subset of `retx_rounds` triggered by a receiver-detected
+    /// packet corruption (CRC mismatch NAK) rather than a plain drop.
+    pub retx_corrupt_rounds: u32,
+    /// The subset of `retx_pkts` retransmitted in corruption-triggered
+    /// rounds.
+    pub retx_corrupt_pkts: u32,
     /// `Some(fault index)` when a crash killed the command in flight;
     /// aborted commands are redispatched with a fresh trace in the
     /// next epoch, keeping traces exactly-once per epoch.
@@ -136,6 +142,8 @@ impl CmdTraceRecord {
             stages: [None; STAGES],
             retx_rounds: 0,
             retx_pkts: 0,
+            retx_corrupt_rounds: 0,
+            retx_corrupt_pkts: 0,
             aborted_by: None,
         }
     }
@@ -182,6 +190,12 @@ pub struct LatencyBreakdown {
     /// retransmitted message belongs to a traced command this equals
     /// `NetMetrics::retransmits`.
     pub retx_pkts: u64,
+    /// The subset of `retx_rounds` triggered by receiver-detected
+    /// packet corruptions (CRC mismatch NAKs).
+    pub retx_corrupt_rounds: u64,
+    /// The subset of `retx_pkts` retransmitted in corruption-triggered
+    /// rounds.
+    pub retx_corrupt_pkts: u64,
     /// Peak number of completed-but-undelivered groups buffered in
     /// the in-order completer across all streams (how much
     /// completion-side buffering ordering cost), sampled at unit
@@ -214,6 +228,8 @@ impl LatencyBreakdown {
             aborted: 0,
             retx_rounds: 0,
             retx_pkts: 0,
+            retx_corrupt_rounds: 0,
+            retx_corrupt_pkts: 0,
             completer_held_peak: 0,
             records: Vec::with_capacity(ring.min(1024)),
             records_dropped: 0,
@@ -356,6 +372,20 @@ impl StageTrace {
         r.retx_pkts += pkts;
         self.agg.retx_rounds += 1;
         self.agg.retx_pkts += pkts as u64;
+    }
+
+    /// Annotates a corruption-triggered recovery round: counted in the
+    /// overall retransmit totals *and* in the corrupt-specific subset.
+    pub(crate) fn retx_corrupt(&mut self, id: u32, pkts: u32) {
+        if id == TRACE_NONE {
+            return;
+        }
+        self.retx(id, pkts);
+        let r = &mut self.slots[id as usize];
+        r.retx_corrupt_rounds += 1;
+        r.retx_corrupt_pkts += pkts;
+        self.agg.retx_corrupt_rounds += 1;
+        self.agg.retx_corrupt_pkts += pkts as u64;
     }
 
     /// Queues ordered command `id` (covering groups through `seq_end`)

@@ -45,6 +45,7 @@ fn base_cfg() -> ClusterConfig {
         max_inflight_per_stream: 32,
         plug_merge: true,
         pin_stream_to_qp: true,
+        integrity: false,
         faults: FaultPlan::none(),
         trace: None,
     }
