@@ -63,6 +63,7 @@ fn paper_cfg(seed: u64, threads: usize) -> ClusterConfig {
         integrity: false,
         faults: Default::default(),
         trace: None,
+        initiators: Vec::new(),
     }
 }
 
@@ -152,6 +153,7 @@ fn sweep_cfg(mode: OrderingMode, loss: f64, threads: usize) -> ClusterConfig {
         integrity: false,
         faults: Default::default(),
         trace: None,
+        initiators: Vec::new(),
     };
     cfg.net.migrate_every = 64;
     cfg

@@ -240,6 +240,7 @@ fn real_main() -> i32 {
                     figure: s.figure.to_string(),
                     mode: s.mode.label().to_string(),
                     threads: s.threads,
+                    initiators: s.initiators,
                     loss: s.loss,
                     paths: s.paths,
                     wall_secs: 1.0,

@@ -127,6 +127,7 @@ pub fn parse(json: &str) -> Result<BenchFile, String> {
             figure: lookup(&pairs, "figure", &ctx)?.to_string(),
             mode: lookup(&pairs, "mode", &ctx)?.to_string(),
             threads: parse_usize(&pairs, "threads", &ctx)?,
+            initiators: parse_usize(&pairs, "initiators", &ctx)?,
             loss: parse_f64(&pairs, "loss", &ctx)?,
             paths: parse_usize(&pairs, "paths", &ctx)?,
             wall_secs: parse_f64(&pairs, "wall_secs", &ctx)?,
@@ -272,6 +273,7 @@ mod tests {
             figure: figure.into(),
             mode: mode.into(),
             threads: 2,
+            initiators: 1,
             loss: 0.0,
             paths: 1,
             wall_secs: wall,

@@ -18,20 +18,26 @@ use crate::all_modes;
 
 /// Schema version of `BENCH_sim.json`. Version 3 added the
 /// deterministic per-cell `groups` and `group_p99_us` fields the
-/// regression gate's tail-latency check reads.
-pub const SCHEMA: u64 = 3;
+/// regression gate's tail-latency check reads; version 4 added the
+/// per-cell `initiators` count and the `multi_initiator` cells it
+/// keys.
+pub const SCHEMA: u64 = 4;
 
 /// One cell of the sweep grid: the pinned simulated experiment, before
 /// it runs.
 #[derive(Debug, Clone)]
 pub struct CellSpec {
     /// Figure family (`fig10a_flash`, `fig10b_optane`, `fig10d_4ssd`,
-    /// `lossy_fabric`) — selects the cluster shape.
+    /// `lossy_fabric`, `multi_initiator`) — selects the cluster shape.
     pub figure: &'static str,
     /// Ordering engine.
     pub mode: OrderingMode,
-    /// Submitting threads / streams.
+    /// Submitting threads / streams (total, across all initiators).
     pub threads: usize,
+    /// Initiators sharing the targets (1 = the classic single-driver
+    /// shape; `multi_initiator` cells split `threads` evenly across
+    /// this many one-tenant initiators over two shared targets).
+    pub initiators: usize,
     /// Fabric loss rate (0 = lossless).
     pub loss: f64,
     /// Fabric path count.
@@ -47,8 +53,10 @@ pub struct Cell {
     pub figure: String,
     /// Ordering-mode label ([`OrderingMode::label`]).
     pub mode: String,
-    /// Submitting threads / streams.
+    /// Submitting threads / streams (total, across all initiators).
     pub threads: usize,
+    /// Initiators sharing the targets.
+    pub initiators: usize,
     /// Fabric loss rate.
     pub loss: f64,
     /// Fabric path count.
@@ -70,13 +78,14 @@ pub struct Cell {
 
 impl Cell {
     /// The identity the gate matches baseline and current cells on.
-    pub fn key(&self) -> (&str, &str, usize, u64, usize) {
+    pub fn key(&self) -> (&str, &str, usize, usize, u64, usize) {
         // Loss rates are small round decimals; scale to micro-units so
         // the key is Eq/Hash-able without comparing floats.
         (
             &self.figure,
             &self.mode,
             self.threads,
+            self.initiators,
             (self.loss * 1e6).round() as u64,
             self.paths,
         )
@@ -85,8 +94,8 @@ impl Cell {
     /// Human-readable cell identity for reports.
     pub fn key_label(&self) -> String {
         format!(
-            "{}/{} t={} loss={} paths={}",
-            self.figure, self.mode, self.threads, self.loss, self.paths
+            "{}/{} t={} init={} loss={} paths={}",
+            self.figure, self.mode, self.threads, self.initiators, self.loss, self.paths
         )
     }
 
@@ -166,6 +175,7 @@ pub fn specs(smoke: bool) -> Vec<CellSpec> {
                     figure,
                     mode: mode.clone(),
                     threads,
+                    initiators: 1,
                     loss: 0.0,
                     paths: 1,
                     groups,
@@ -191,8 +201,30 @@ pub fn specs(smoke: bool) -> Vec<CellSpec> {
                 figure: "lossy_fabric",
                 mode: mode.clone(),
                 threads: 4,
+                initiators: 1,
                 loss,
                 paths,
+                groups,
+            });
+        }
+    }
+    // Multi-initiator cells: M one-tenant initiators (2 streams each)
+    // over two shared lossy targets, so the trajectory also tracks the
+    // per-tenant DRR admission and the per-initiator ordering engines.
+    let init_axis: &[usize] = if smoke { &[2] } else { &[2, 4] };
+    for &initiators in init_axis {
+        for mode in all_modes() {
+            let groups = match mode {
+                OrderingMode::LinuxNvmf => 600 / scale,
+                _ => 6_000 / scale,
+            };
+            specs.push(CellSpec {
+                figure: "multi_initiator",
+                mode: mode.clone(),
+                threads: initiators * 2,
+                initiators,
+                loss: 1e-3,
+                paths: 2,
                 groups,
             });
         }
@@ -208,6 +240,7 @@ pub fn specs(smoke: bool) -> Vec<CellSpec> {
 pub fn smoke_subset(spec: &CellSpec) -> bool {
     (spec.figure == "fig10b_optane" && spec.threads == 2)
         || (spec.figure == "lossy_fabric" && spec.loss == 1e-3 && spec.paths == 1)
+        || (spec.figure == "multi_initiator" && spec.initiators == 2)
 }
 
 /// Runs one cell and measures it: the deterministic simulation runs
@@ -243,6 +276,12 @@ fn run_spec_once(spec: &CellSpec) -> Cell {
             cfg.max_inflight_per_stream = 64;
             cfg
         }
+        "multi_initiator" => ClusterConfig::multi_initiator(
+            spec.mode.clone(),
+            spec.initiators,
+            spec.threads / spec.initiators,
+            2,
+        ),
         other => panic!("unknown sweep figure {other}"),
     };
     if spec.loss > 0.0 {
@@ -256,6 +295,7 @@ fn run_spec_once(spec: &CellSpec) -> Cell {
         figure: spec.figure.to_string(),
         mode: spec.mode.label().to_string(),
         threads: spec.threads,
+        initiators: spec.initiators,
         loss: spec.loss,
         paths: spec.paths,
         wall_secs,
@@ -302,13 +342,14 @@ pub fn render_json(cells: &[Cell], smoke: bool, calib_secs: f64) -> String {
         let _ = write!(
             out,
             "    {{\"figure\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
-             \"loss\": {}, \"paths\": {}, \
+             \"initiators\": {}, \"loss\": {}, \"paths\": {}, \
              \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \
              \"sim_span_secs\": {:.6}, \"blocks_done\": {}, \
              \"groups\": {}, \"group_p99_us\": {:.3}}}",
             json_escape_free(&c.figure),
             json_escape_free(&c.mode),
             c.threads,
+            c.initiators,
             c.loss,
             c.paths,
             c.wall_secs,
@@ -331,21 +372,31 @@ mod tests {
 
     #[test]
     fn grid_shape_is_pinned() {
-        // 3 figures x 4 modes x 2 threads + 3 lossy grids x 4 modes.
-        assert_eq!(specs(false).len(), 36);
-        // Smoke: 3 x 4 x 1 + 1 x 4.
-        assert_eq!(specs(true).len(), 16);
+        // 3 figures x 4 modes x 2 threads + 3 lossy grids x 4 modes
+        // + 2 initiator counts x 4 modes.
+        assert_eq!(specs(false).len(), 44);
+        // Smoke: 3 x 4 x 1 + 1 x 4 + 1 x 4.
+        assert_eq!(specs(true).len(), 20);
         let subset: Vec<CellSpec> = specs(false).into_iter().filter(smoke_subset).collect();
-        assert_eq!(subset.len(), 8, "gate smoke subset: fig10b t2 + lossy 1-path");
+        assert_eq!(
+            subset.len(),
+            12,
+            "gate smoke subset: fig10b t2 + lossy 1-path + 2-initiator"
+        );
         assert!(subset.iter().all(|s| s.groups >= 600), "full-sized cells only");
+        assert!(
+            subset.iter().any(|s| s.initiators > 1),
+            "multi-initiator cells must be regression-gated in CI"
+        );
     }
 
     #[test]
-    fn render_is_valid_schema_3() {
+    fn render_is_valid_schema_4() {
         let cell = Cell {
             figure: "fig10b_optane".into(),
             mode: "RIO".into(),
             threads: 2,
+            initiators: 1,
             loss: 0.0,
             paths: 1,
             wall_secs: 0.5,
@@ -356,8 +407,9 @@ mod tests {
             group_p99_us: 123.456,
         };
         let json = render_json(&[cell], false, 0.05);
-        assert!(json.contains("\"schema\": 3"));
+        assert!(json.contains("\"schema\": 4"));
         assert!(json.contains("\"calib_secs\": 0.050000"));
+        assert!(json.contains("\"initiators\": 1"));
         assert!(json.contains("\"groups\": 100"));
         assert!(json.contains("\"group_p99_us\": 123.456"));
         assert!(json.contains("\"events_per_sec\": 2000"));

@@ -12,6 +12,7 @@ fn cell(figure: &str, mode: &str, wall_secs: f64, events: u64, p99: f64) -> Cell
         figure: figure.into(),
         mode: mode.into(),
         threads: 2,
+        initiators: 1,
         loss: 0.0,
         paths: 1,
         wall_secs,
@@ -169,7 +170,7 @@ fn missing_cell_fails_a_full_comparison() {
 
 #[test]
 fn schema_mismatch_exits_2() {
-    let old = render(&baseline_cells(), false).replace("\"schema\": 3", "\"schema\": 2");
+    let old = render(&baseline_cells(), false).replace("\"schema\": 4", "\"schema\": 2");
     let base = write("golden_base_schema2.json", &old);
     let cur = write("golden_cur_ok.json", &render(&baseline_cells(), false));
     let out = gate(&base, &cur);

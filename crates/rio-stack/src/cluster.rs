@@ -215,6 +215,8 @@ enum SyncStage {
 
 /// Per-thread state.
 struct ThreadState {
+    /// Owning initiator (index into `Cluster::initiators`).
+    init: usize,
     core: usize,
     stream: StreamId,
     /// Next script unit (op) index to generate.
@@ -252,6 +254,95 @@ struct ThreadState {
     replay: VecDeque<(u32, GroupSpec)>,
 }
 
+/// One initiator host: its driver cores, fabric NIC, sequencer and
+/// in-order completer, plus the slice of the global stream space it
+/// owns. Stream ids are global — initiator `i` owns
+/// `[stream_base, stream_base + n_streams)` — so every structure
+/// keyed by (global) stream is implicitly keyed by (initiator,
+/// stream) with no id translation anywhere on the event path.
+struct Initiator {
+    cores: CoreSet,
+    nic: Nic,
+    sequencer: Sequencer,
+    completer: InOrderCompleter,
+    /// Tenant this initiator bills to.
+    tenant: u32,
+    /// QoS weight its tenant share carries in the target DRR.
+    weight: u32,
+    /// First global stream id of this initiator's slice.
+    stream_base: usize,
+    /// Streams in this initiator's slice.
+    n_streams: usize,
+    // Per-initiator accounting for the RunMetrics breakdown.
+    groups_done: u64,
+    blocks_done: u64,
+    commands_sent: u64,
+    gate_buffered: u64,
+    group_latency: Histogram,
+    finished_at: SimTime,
+}
+
+/// Blocks of SSD service one DRR weight unit earns per round.
+const DRR_QUANTUM_BLOCKS: u64 = 8;
+/// Admitted-but-incomplete writes one target sustains before its DRR
+/// holds commands back. Small on purpose: fairness needs the backlog
+/// to queue *here*, where the scheduler arbitrates, not inside the
+/// device.
+const DRR_OUTSTANDING_CAP: usize = 4;
+
+/// Target-side deficit-round-robin scheduler over per-tenant queues
+/// at the SSD admission point. Only instantiated when more than one
+/// distinct tenant shares the cluster — single-tenant runs never
+/// construct it, keeping them byte-identical to the pre-tenancy path.
+struct DrrSched {
+    /// Per-tenant DRR weight, indexed like `Cluster::tenants`.
+    weights: Vec<u32>,
+    /// Per-tenant deficit counters, in blocks.
+    deficits: Vec<u64>,
+    /// Per-tenant FIFO of (command id, enqueue instant, blocks).
+    queues: Vec<VecDeque<(u64, SimTime, u32)>>,
+    /// Round-robin cursor over tenants.
+    cursor: usize,
+    /// Whether the cursor just arrived at its queue (quantum not yet
+    /// granted for this visit). A visit spans many pump calls — the
+    /// outstanding cap rations slots, not rounds — so the flag keeps
+    /// one quantum per visit no matter how the pumping interleaves.
+    fresh: bool,
+    /// Writes admitted to this target's SSDs and not yet completed.
+    outstanding: usize,
+}
+
+impl DrrSched {
+    fn new(weights: Vec<u32>) -> Self {
+        let n = weights.len();
+        DrrSched {
+            weights,
+            deficits: vec![0; n],
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            cursor: 0,
+            fresh: true,
+            outstanding: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
+    }
+
+    /// Forgets every queued command and outstanding write (a crash
+    /// killed them all; their slab ids must never resolve again).
+    fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+        for d in &mut self.deficits {
+            *d = 0;
+        }
+        self.fresh = true;
+        self.outstanding = 0;
+    }
+}
+
 /// One target server.
 struct Target {
     cores: CoreSet,
@@ -259,6 +350,9 @@ struct Target {
     gate: SubmissionGate,
     ssds: Vec<Ssd>,
     log: Option<PmrLog>,
+    /// Per-tenant fair scheduler at the SSD admission point (`None`
+    /// unless the run has more than one distinct tenant).
+    drr: Option<DrrSched>,
     /// Live PMR slots per stream (indexed by stream id), append order.
     slots: Vec<VecDeque<(u32, SlotRef)>>,
     /// Whether a stream ever appended a PMR slot on this target; the
@@ -303,11 +397,16 @@ pub struct Cluster {
     workload: Workload,
     events: EventHeap<Event>,
     fabric: Fabric,
-    init_cores: CoreSet,
-    init_nic: Nic,
+    /// The initiator hosts (exactly one on the legacy single-initiator
+    /// path, which is byte-identical to the pre-multi-initiator code).
+    initiators: Vec<Initiator>,
     volume: StripedVolume,
-    sequencer: Sequencer,
-    completer: InOrderCompleter,
+    /// Distinct tenant ids, in order of first appearance across the
+    /// effective initiator list.
+    tenants: Vec<u32>,
+    /// Per-tenant DRR admission-wait histograms (indexed like
+    /// `tenants`; all empty when the scheduler is inert).
+    tenant_gate_wait: Vec<Histogram>,
     order_queues: Vec<OrderQueue>,
     released_through: Vec<u32>,
     threads: Vec<ThreadState>,
@@ -375,10 +474,26 @@ impl Cluster {
     /// fewer than threads, or targets without SSDs).
     pub fn new(cfg: ClusterConfig, workload: Workload) -> Self {
         assert!(workload.threads > 0, "need at least one thread");
-        assert!(
-            cfg.streams >= workload.threads,
-            "need one stream per thread"
-        );
+        let init_cfgs = cfg.effective_initiators();
+        let total_streams = cfg.total_streams();
+        if cfg.initiators.is_empty() {
+            assert!(
+                cfg.streams >= workload.threads,
+                "need one stream per thread"
+            );
+        } else {
+            // Multi-initiator runs bind one thread per stream: thread i
+            // owns global stream i, partitioned across initiators by
+            // their configured stream counts.
+            assert!(
+                init_cfgs.iter().all(|ic| ic.streams > 0),
+                "every initiator needs at least one stream"
+            );
+            assert_eq!(
+                workload.threads, total_streams,
+                "multi-initiator runs need exactly one thread per stream"
+            );
+        }
         assert!(!cfg.targets.is_empty(), "need at least one target");
         if !cfg.faults.events.is_empty() {
             // Pure packet-corruption faults only retune the fabric and
@@ -428,6 +543,19 @@ impl Cluster {
         let volume = StripedVolume::new(legs, cfg.stripe_blocks, min_cap);
 
         let n_targets = cfg.targets.len();
+        // Distinct tenants in order of first appearance; the DRR only
+        // exists when more than one tenant shares the targets.
+        let mut tenants: Vec<u32> = Vec::new();
+        let mut tenant_weights: Vec<u32> = Vec::new();
+        for ic in &init_cfgs {
+            if let Some(i) = tenants.iter().position(|&t| t == ic.tenant) {
+                tenant_weights[i] += ic.weight.max(1);
+            } else {
+                tenants.push(ic.tenant);
+                tenant_weights.push(ic.weight.max(1));
+            }
+        }
+        let multi_tenant = tenants.len() > 1;
         let targets: Vec<Target> = cfg
             .targets
             .iter()
@@ -443,17 +571,19 @@ impl Cluster {
                     .collect();
                 let mut t = Target {
                     cores: CoreSet::new(tc.cores),
-                    nic: Nic::for_profile(cfg.qps_per_target, &wire),
-                    gate: SubmissionGate::with_streams(cfg.streams),
+                    // One connection (QP group) per initiator.
+                    nic: Nic::for_profile(init_cfgs.len() * cfg.qps_per_target, &wire),
+                    gate: SubmissionGate::with_streams(total_streams),
                     ssds,
                     log: None,
-                    slots: vec![VecDeque::new(); cfg.streams],
-                    slot_seen: vec![false; cfg.streams],
-                    applied_release: vec![0; cfg.streams],
+                    drr: multi_tenant.then(|| DrrSched::new(tenant_weights.clone())),
+                    slots: vec![VecDeque::new(); total_streams],
+                    slot_seen: vec![false; total_streams],
+                    applied_release: vec![0; total_streams],
                 };
                 if matches!(cfg.mode, OrderingMode::Rio { .. }) {
                     let pmr_len = t.ssds[0].pmr().len();
-                    let (log, writes) = PmrLog::format(pmr_len, cfg.streams);
+                    let (log, writes) = PmrLog::format(pmr_len, total_streams);
                     for w in &writes {
                         t.apply_pmr_write(w);
                     }
@@ -463,10 +593,26 @@ impl Cluster {
             })
             .collect();
 
+        // Thread i owns global stream i; its initiator is the one whose
+        // stream slice contains i (the legacy path has one slice
+        // covering everything, so this reduces to the old layout).
+        let mut init_of_thread = Vec::with_capacity(workload.threads);
+        {
+            let mut base = 0usize;
+            for (ii, ic) in init_cfgs.iter().enumerate() {
+                for _ in 0..ic.streams {
+                    if init_of_thread.len() < workload.threads {
+                        init_of_thread.push((ii, base));
+                    }
+                }
+                base += ic.streams;
+            }
+        }
         let per_thread_blocks = volume.capacity_blocks() / workload.threads as u64;
         let threads: Vec<ThreadState> = (0..workload.threads)
             .map(|i| ThreadState {
-                core: i % cfg.initiator_cores,
+                init: init_of_thread[i].0,
+                core: (i - init_of_thread[i].1) % init_cfgs[init_of_thread[i].0].cores,
                 stream: StreamId(i as u16),
                 next_op: 0,
                 queue: VecDeque::new(),
@@ -490,7 +636,7 @@ impl Cluster {
             .collect();
 
         let merge = matches!(cfg.mode, OrderingMode::Rio { merge: true });
-        let order_queues = (0..cfg.streams)
+        let order_queues = (0..total_streams)
             .map(|s| {
                 OrderQueue::new(
                     StreamId(s as u16),
@@ -504,24 +650,54 @@ impl Cluster {
 
         // Pre-size the hot structures from the config: the event heap
         // and command/unit arenas track the global in-flight window.
-        let inflight_hint = (cfg.streams * cfg.max_inflight_per_stream * 2).max(64);
-        let trace = cfg.trace.as_ref().map(|tc| StageTrace::new(tc, cfg.streams));
+        let inflight_hint = (total_streams * cfg.max_inflight_per_stream * 2).max(64);
+        let trace = cfg
+            .trace
+            .as_ref()
+            .map(|tc| StageTrace::new(tc, total_streams));
+        let initiators: Vec<Initiator> = {
+            let mut v = Vec::with_capacity(init_cfgs.len());
+            let mut base = 0usize;
+            for ic in &init_cfgs {
+                v.push(Initiator {
+                    cores: CoreSet::new(ic.cores),
+                    nic: Nic::for_profile(n_targets * cfg.qps_per_target, &wire),
+                    // Sequencer and completer are sized at the *global*
+                    // stream count; each initiator only ever touches its
+                    // own slice, so no id translation exists anywhere.
+                    sequencer: Sequencer::new(total_streams, n_targets),
+                    completer: InOrderCompleter::with_window(
+                        total_streams,
+                        cfg.max_inflight_per_stream * 2,
+                    ),
+                    tenant: ic.tenant,
+                    weight: ic.weight.max(1),
+                    stream_base: base,
+                    n_streams: ic.streams,
+                    groups_done: 0,
+                    blocks_done: 0,
+                    commands_sent: 0,
+                    gate_buffered: 0,
+                    group_latency: Histogram::new(),
+                    finished_at: SimTime::ZERO,
+                });
+                base += ic.streams;
+            }
+            v
+        };
+        let tenant_gate_wait = tenants.iter().map(|_| Histogram::new()).collect();
         Cluster {
-            sequencer: Sequencer::new(cfg.streams, n_targets),
-            completer: InOrderCompleter::with_window(
-                cfg.streams,
-                cfg.max_inflight_per_stream * 2,
-            ),
+            initiators,
+            tenants,
+            tenant_gate_wait,
             order_queues,
-            released_through: vec![0; cfg.streams],
-            init_cores: CoreSet::new(cfg.initiator_cores),
-            init_nic: Nic::for_profile(n_targets * cfg.qps_per_target, &wire),
+            released_through: vec![0; total_streams],
             volume,
             threads,
             targets,
             cmds: Slab::with_capacity(inflight_hint),
             units: Slab::with_capacity(inflight_hint),
-            group_info: (0..cfg.streams).map(|_| GroupInfoRing::default()).collect(),
+            group_info: (0..total_streams).map(|_| GroupInfoRing::default()).collect(),
             gate_scratch: Vec::with_capacity(16),
             delivered_scratch: Vec::with_capacity(16),
             map_scratch: Vec::with_capacity(16),
@@ -665,7 +841,9 @@ impl Cluster {
             .map(|t| t.gate.total_buffered_events())
             .sum();
         let mut net = crate::metrics::NetMetrics::default();
-        net.absorb(&self.init_nic);
+        for init in &self.initiators {
+            net.absorb(&init.nic);
+        }
         for t in &self.targets {
             net.absorb(&t.nic);
         }
@@ -686,6 +864,52 @@ impl Cluster {
             blocks_done: self.blocks_done - self.epoch_blocks_base,
             ops_done: self.ops_done - self.epoch_ops_base,
         });
+        let initiators: Vec<crate::metrics::InitiatorMetrics> = self
+            .initiators
+            .iter()
+            .enumerate()
+            .map(|(i, init)| crate::metrics::InitiatorMetrics {
+                initiator: i,
+                tenant: init.tenant,
+                weight: init.weight,
+                stream_base: init.stream_base,
+                streams: init.n_streams,
+                groups_done: init.groups_done,
+                blocks_done: init.blocks_done,
+                commands_sent: init.commands_sent,
+                gate_buffered: init.gate_buffered,
+                group_latency: init.group_latency.clone(),
+                util: init.cores.utilization(span),
+                finished_at: init.finished_at,
+            })
+            .collect();
+        // Per-tenant rollup: the sum of the tenant's initiators, plus
+        // the DRR admission wait recorded at the targets.
+        let mut tenants: Vec<crate::metrics::TenantMetrics> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(ti, &tenant)| {
+                let mut t = crate::metrics::TenantMetrics {
+                    tenant,
+                    weight: 0,
+                    groups_done: 0,
+                    blocks_done: 0,
+                    group_latency: Histogram::new(),
+                    gate_wait: self.tenant_gate_wait[ti].clone(),
+                    finished_at: SimTime::ZERO,
+                };
+                for init in self.initiators.iter().filter(|i| i.tenant == tenant) {
+                    t.weight += init.weight;
+                    t.groups_done += init.groups_done;
+                    t.blocks_done += init.blocks_done;
+                    t.group_latency.merge(&init.group_latency);
+                    t.finished_at = t.finished_at.max(init.finished_at);
+                }
+                t
+            })
+            .collect();
+        tenants.sort_by_key(|t| t.tenant);
         RunMetrics {
             blocks_done: self.blocks_done,
             groups_done: self.groups_done,
@@ -697,7 +921,12 @@ impl Cluster {
             group_latency: self.group_latency.clone(),
             op_latency: self.op_latency.clone(),
             stage_dispatch: self.stage_lat.clone(),
-            initiator_util: self.init_cores.utilization(span),
+            initiator_util: self
+                .initiators
+                .iter()
+                .map(|i| i.cores.utilization(span))
+                .sum::<f64>()
+                / self.initiators.len() as f64,
             target_util,
             net,
             integrity,
@@ -705,6 +934,8 @@ impl Cluster {
             epochs,
             finished_at: self.last_completion,
             breakdown: self.trace.as_ref().map(StageTrace::finish),
+            initiators,
+            tenants,
         }
     }
 
@@ -760,9 +991,7 @@ impl Cluster {
     /// Charges per-op application CPU and tracks fsync op starts.
     fn note_group_start(&mut self, mut cpu: SimTime, t: usize, spec: &GroupSpec) -> SimTime {
         if spec.app_cpu_ns > 0 {
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, spec.app_cpu_ns);
+            cpu = self.init_run_on(t, cpu, spec.app_cpu_ns);
         }
         let first_stage = matches!(spec.stage, Some(FsyncStage::Data))
             || (matches!(spec.stage, Some(FsyncStage::Meta))
@@ -829,12 +1058,12 @@ impl Cluster {
                 let mut group_seq = 0u32;
                 for (i, m) in spec.members.iter().enumerate() {
                     let last = i == n - 1;
-                    cpu = self.init_cores.run_on(
-                        self.threads[t].core,
+                    cpu = self.init_run_on(
+                        t,
                         cpu,
                         self.cfg.cpu.submit_bio + self.cfg.cpu.order_queue,
                     );
-                    let attr = self.sequencer.submit(
+                    let attr = self.initiators[self.threads[t].init].sequencer.submit(
                         stream,
                         m.range,
                         SubmitOpts {
@@ -875,11 +1104,7 @@ impl Cluster {
             for unit in units {
                 let merged_extra = unit.parts.len().saturating_sub(1) as u64;
                 if merged_extra > 0 {
-                    cpu = self.init_cores.run_on(
-                        self.threads[t].core,
-                        cpu,
-                        self.cfg.cpu.merge_per_bio * merged_extra,
-                    );
+                    cpu = self.init_run_on(t, cpu, self.cfg.cpu.merge_per_bio * merged_extra);
                 }
                 cpu = self.dispatch_rio_unit(cpu, t, unit);
             }
@@ -938,16 +1163,14 @@ impl Cluster {
         for (frag, ext) in frags.iter_mut().zip(extents.iter()) {
             frag.range = ext.range;
             frag.ssd = ext.ssd as u8;
-            self.sequencer.stamp_dispatch(frag, ext.server);
+            self.initiators[self.threads[t].init]
+                .sequencer
+                .stamp_dispatch(frag, ext.server);
             let tag = frag.seq_start.0 as u64;
             let digest = if self.integrity {
                 // Stamp the command's payload digest at submission,
                 // charging the per-block CRC pass to the app core.
-                cpu = self.init_cores.run_on(
-                    self.threads[t].core,
-                    cpu,
-                    self.cfg.cpu.crc_per_block * ext.range.blocks as u64,
-                );
+                cpu = self.init_run_on(t, cpu, self.cfg.cpu.crc_per_block * ext.range.blocks as u64);
                 let stream = self.threads[t].stream.0;
                 let lba = ext.range.lba;
                 PayloadDigest::over_seeds(
@@ -957,9 +1180,7 @@ impl Cluster {
                 PayloadDigest::NONE
             };
             let stamped = cpu;
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+            cpu = self.init_run_on(t, cpu, self.cfg.cpu.cmd_post);
             let qp = self.pick_qp(self.threads[t].stream.0 as usize);
             self.send_cmd(
                 cpu,
@@ -1030,9 +1251,7 @@ impl Cluster {
                 let spec = self.next_group_spec(t);
                 cpu = self.note_group_start(cpu, t, &spec);
                 for m in &spec.members {
-                    cpu =
-                        self.init_cores
-                            .run_on(self.threads[t].core, cpu, self.cfg.cpu.submit_bio);
+                    cpu = self.init_run_on(t, cpu, self.cfg.cpu.submit_bio);
                     let mut bio = rio_block::Bio::write(bio_id, m.range, bio_id);
                     bio.flags.flush = spec.flush;
                     plug.add(bio);
@@ -1053,11 +1272,7 @@ impl Cluster {
             for run in runs {
                 let merged_extra = run.bios.len().saturating_sub(1) as u64;
                 if merged_extra > 0 {
-                    cpu = self.init_cores.run_on(
-                        self.threads[t].core,
-                        cpu,
-                        self.cfg.cpu.merge_per_bio * merged_extra,
-                    );
+                    cpu = self.init_run_on(t, cpu, self.cfg.cpu.merge_per_bio * merged_extra);
                 }
                 let flush = run.bios.iter().any(|b| b.flags.flush);
                 cpu = self.dispatch_plain_unit(cpu, t, run.range, run.bios.len() as u64, flush);
@@ -1104,11 +1319,7 @@ impl Cluster {
         });
         for ext in &extents {
             let digest = if self.integrity {
-                cpu = self.init_cores.run_on(
-                    self.threads[t].core,
-                    cpu,
-                    self.cfg.cpu.crc_per_block * ext.range.blocks as u64,
-                );
+                cpu = self.init_run_on(t, cpu, self.cfg.cpu.crc_per_block * ext.range.blocks as u64);
                 let stream = self.threads[t].stream.0;
                 let lba = ext.range.lba;
                 PayloadDigest::over_seeds(
@@ -1119,9 +1330,7 @@ impl Cluster {
                 PayloadDigest::NONE
             };
             let stamped = cpu;
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+            cpu = self.init_run_on(t, cpu, self.cfg.cpu.cmd_post);
             let qp = self.pick_qp(self.threads[t].stream.0 as usize);
             self.send_cmd(
                 cpu,
@@ -1170,18 +1379,14 @@ impl Cluster {
         // Journaling stages pay the jbd2 kthread handoff (wakeup of the
         // journal thread plus the completion softirq).
         if spec.stage.is_some() {
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, 2 * self.cfg.cpu.ctx_switch);
+            cpu = self.init_run_on(t, cpu, 2 * self.cfg.cpu.ctx_switch);
         }
         self.threads[t].inflight += 1;
         self.threads[t].sync_stage = SyncStage::AwaitWrite;
         self.threads[t].cur_flush_leg = spec.stage.is_none() || spec.flush;
         self.threads[t].cur_sync_after = spec.sync_after || spec.stage.is_none();
         for m in &spec.members {
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, self.cfg.cpu.submit_bio);
+            cpu = self.init_run_on(t, cpu, self.cfg.cpu.submit_bio);
             cpu = self.dispatch_plain_unit(cpu, t, m.range, 1, false);
         }
         if let Some(stage) = spec.stage {
@@ -1211,14 +1416,15 @@ impl Cluster {
             let spec = self.next_group_spec(t);
             cpu = self.note_group_start(cpu, t, &spec);
             self.threads[t].inflight += 1;
-            cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, cpu, self.cfg.cpu.horae_ctrl_post);
+            cpu = self.init_run_on(t, cpu, self.cfg.cpu.horae_ctrl_post);
             // Control metadata goes to the group's primary target.
             let primary = self.volume.map_block(spec.members[0].range.lba).0 .0 as usize;
             let qp = self.threads[t].stream.0 as usize % self.cfg.qps_per_target;
             let init_qp = self.target_qp(primary, qp);
-            let delivery = self.fabric.send(&mut self.init_nic, init_qp, cpu, 64);
+            let init = self.threads[t].init;
+            let delivery = self
+                .fabric
+                .send(&mut self.initiators[init].nic, init_qp, cpu, 64);
             self.ctrl_sent += 1;
             self.threads[t].ctrl_pending.push_back((spec, cpu));
             self.threads[t].ctrl_outstanding = true;
@@ -1245,8 +1451,12 @@ impl Cluster {
         let done = self.targets[target]
             .cores
             .run_on(core, now, self.cfg.cpu.horae_ctrl_handle);
-        // Acknowledge over the target's NIC.
-        let qp = self.threads[thread].stream.0 as usize % self.cfg.qps_per_target;
+        // Acknowledge over the target's NIC, on the sender's
+        // connection QP group.
+        let qp = self.conn_qp(
+            thread,
+            self.threads[thread].stream.0 as usize % self.cfg.qps_per_target,
+        );
         let delivery = self
             .fabric
             .send(&mut self.targets[target].nic, qp, done, 16);
@@ -1255,9 +1465,7 @@ impl Cluster {
 
     fn on_ctrl_ack(&mut self, now: SimTime, thread: usize) {
         let t = thread;
-        let cpu = self
-            .init_cores
-            .run_on(self.threads[t].core, now, self.cfg.cpu.irq);
+        let cpu = self.init_run_on(t, now, self.cfg.cpu.irq);
         self.threads[t].ctrl_outstanding = false;
         // Dispatch the acknowledged group's data path asynchronously.
         let (spec, _posted) = self.threads[t]
@@ -1266,9 +1474,7 @@ impl Cluster {
             .expect("ctrl ack without pending group");
         let mut c = cpu;
         for m in &spec.members {
-            c = self
-                .init_cores
-                .run_on(self.threads[t].core, c, self.cfg.cpu.submit_bio);
+            c = self.init_run_on(t, c, self.cfg.cpu.submit_bio);
             c = self.dispatch_plain_unit(c, t, m.range, 1, spec.flush);
         }
         if let Some(stage) = spec.stage {
@@ -1296,6 +1502,39 @@ impl Cluster {
     /// Initiator-side QP index for (target, qp-within-connection).
     fn target_qp(&self, target: usize, qp: usize) -> usize {
         target * self.cfg.qps_per_target + qp
+    }
+
+    /// Charges `cost_ns` on thread `t`'s pinned core of its initiator.
+    fn init_run_on(&mut self, t: usize, now: SimTime, cost_ns: u64) -> SimTime {
+        let (init, core) = (self.threads[t].init, self.threads[t].core);
+        self.initiators[init].cores.run_on(core, now, cost_ns)
+    }
+
+    /// Target-side connection QP for thread `t`'s command: every
+    /// initiator owns one group of `qps_per_target` QPs on each target
+    /// NIC, so the wire QP is the initiator's base plus the
+    /// within-connection QP. Single-initiator runs reduce to `qp`.
+    fn conn_qp(&self, t: usize, qp: usize) -> usize {
+        self.threads[t].init * self.cfg.qps_per_target + qp
+    }
+
+    /// Index into the tenant table of thread `t`'s tenant.
+    fn tenant_index_of_thread(&self, t: usize) -> usize {
+        let tenant = self.initiators[self.threads[t].init].tenant;
+        self.tenants
+            .iter()
+            .position(|&x| x == tenant)
+            .expect("tenant registered at construction")
+    }
+
+    /// The initiator owning global stream `s`. Legacy configurations
+    /// may have more streams than threads; those all live in initiator
+    /// 0's slice, which covers the whole space there.
+    fn initiator_of_stream(&self, s: usize) -> usize {
+        self.initiators
+            .iter()
+            .position(|i| s >= i.stream_base && s < i.stream_base + i.n_streams)
+            .unwrap_or(0)
     }
 
     /// Picks the QP for a command of `stream`: pinned (Principle 2) or
@@ -1386,12 +1625,15 @@ impl Cluster {
     /// charge — the head of its stage trace.
     fn send_cmd(&mut self, now: SimTime, stamped: SimTime, mut cmd: Cmd) {
         self.commands_sent += 1;
+        let init = self.threads[cmd.thread].init;
+        self.initiators[init].commands_sent += 1;
         if let Some(tr) = &mut self.trace {
             let stream = cmd
                 .attr
                 .map(|a| a.stream.0)
                 .unwrap_or(self.threads[cmd.thread].stream.0);
             let tid = tr.open(
+                init as u16,
                 stream,
                 cmd.attr.map(|a| (a.seq_start.0, a.seq_end.0)),
                 cmd.target as u16,
@@ -1408,16 +1650,16 @@ impl Cluster {
         }
         let qp = self.target_qp(cmd.target, cmd.qp);
         let id = self.cmds.insert(cmd);
-        let step = self
-            .fabric
-            .send_burst(&mut self.init_nic, qp, now, CMD_CAPSULE_BYTES);
+        let step =
+            self.fabric
+                .send_burst(&mut self.initiators[init].nic, qp, now, CMD_CAPSULE_BYTES);
         self.schedule_xfer(id, CMD_CAPSULE_BYTES, step, Event::CmdArrive, Event::CmdResend);
     }
 
     /// A command capsule's retransmission timeout fired: resend the
     /// window from the lost packet.
     fn on_cmd_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes, tid, corrupt) = {
+        let (target, qp, pkts, bytes, tid, corrupt, init) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
@@ -1426,6 +1668,7 @@ impl Cluster {
                 cmd.retx_bytes,
                 cmd.trace,
                 cmd.retx_corrupt,
+                self.threads[cmd.thread].init,
             )
         };
         if let Some(tr) = &mut self.trace {
@@ -1440,13 +1683,13 @@ impl Cluster {
         let qp = self.target_qp(target, qp);
         let step = self
             .fabric
-            .resume_send(&mut self.init_nic, qp, now, pkts, bytes);
+            .resume_send(&mut self.initiators[init].nic, qp, now, pkts, bytes);
         self.schedule_xfer(id, bytes, step, Event::CmdArrive, Event::CmdResend);
     }
 
     /// A data pull's retransmission timeout fired: resend the window.
     fn on_data_resend(&mut self, now: SimTime, id: u64) {
-        let (target, qp, pkts, bytes, tid, corrupt) = {
+        let (target, qp, pkts, bytes, tid, corrupt, init) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
@@ -1455,6 +1698,7 @@ impl Cluster {
                 cmd.retx_bytes,
                 cmd.trace,
                 cmd.retx_corrupt,
+                self.threads[cmd.thread].init,
             )
         };
         if let Some(tr) = &mut self.trace {
@@ -1474,7 +1718,7 @@ impl Cluster {
         let init_qp = self.target_qp(target, qp);
         match self.fabric.resume_pull(
             &mut self.targets[target].nic,
-            &mut self.init_nic,
+            &mut self.initiators[init].nic,
             init_qp,
             now,
             pkts,
@@ -1498,7 +1742,7 @@ impl Cluster {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
-                cmd.qp,
+                self.conn_qp(cmd.thread, cmd.qp),
                 cmd.retx_pkts,
                 cmd.retx_bytes,
                 cmd.trace,
@@ -1531,7 +1775,7 @@ impl Cluster {
     }
 
     fn on_cmd_arrive(&mut self, now: SimTime, id: u64) {
-        let (target_idx, qp, kind, bytes, attr, ssd_idx, tid) = {
+        let (target_idx, qp, kind, bytes, attr, ssd_idx, tid, init) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             (
                 cmd.target,
@@ -1541,9 +1785,12 @@ impl Cluster {
                 cmd.attr,
                 cmd.ssd,
                 cmd.trace,
+                self.threads[cmd.thread].init,
             )
         };
-        let core = qp;
+        // Target-side work lands on the core of the sender's
+        // connection QP (one QP group per initiator).
+        let core = init * self.cfg.qps_per_target + qp;
         let recv_done = self.targets[target_idx]
             .cores
             .run_on(core, now, self.cfg.cpu.target_recv);
@@ -1573,7 +1820,7 @@ impl Cluster {
         let init_qp = self.target_qp(target_idx, qp);
         match self.fabric.pull_burst(
             &mut self.targets[target_idx].nic,
-            &mut self.init_nic,
+            &mut self.initiators[init].nic,
             init_qp,
             recv_done,
             bytes,
@@ -1598,6 +1845,11 @@ impl Cluster {
             self.targets[target_idx]
                 .gate
                 .arrive_into(attr, id, &mut released);
+            if !released.iter().any(|&(_, rid)| rid == id) {
+                // The arriving command was held back out of order;
+                // bill the buffering to its initiator.
+                self.initiators[init].gate_buffered += 1;
+            }
             let mut cpu = recv_done;
             for &(r_attr, r_id) in &released {
                 cpu = self.rio_release(cpu, target_idx, r_attr, r_id);
@@ -1630,6 +1882,25 @@ impl Cluster {
     /// guarantee that no corrupted payload reaches media. The write
     /// then carries real payload bytes, sealed on landing.
     fn on_ssd_submit(&mut self, now: SimTime, id: u64) {
+        let target_idx = self.cmds.get(id).expect("cmd exists").target;
+        if self.targets[target_idx].drr.is_some() {
+            // Multi-tenant run: the write queues behind its tenant's
+            // DRR share instead of hitting the device directly.
+            let (tenant_idx, blocks) = {
+                let cmd = self.cmds.get(id).expect("cmd exists");
+                (self.tenant_index_of_thread(cmd.thread), cmd.phys.blocks)
+            };
+            let drr = self.targets[target_idx].drr.as_mut().expect("checked above");
+            drr.queues[tenant_idx].push_back((id, now, blocks));
+            self.drr_pump(now, target_idx);
+            return;
+        }
+        self.ssd_submit_now(now, id);
+    }
+
+    /// Admits a write to its SSD unconditionally (the DRR already ran,
+    /// or the run is single-tenant and the scheduler is inert).
+    fn ssd_submit_now(&mut self, now: SimTime, id: u64) {
         let (target_idx, ssd_idx, lba, blocks, tag, core, stream, digest) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
             let stream = cmd
@@ -1642,7 +1913,7 @@ impl Cluster {
                 cmd.phys.lba,
                 cmd.phys.blocks,
                 cmd.tag,
-                cmd.qp,
+                self.conn_qp(cmd.thread, cmd.qp),
                 stream,
                 cmd.digest,
             )
@@ -1671,6 +1942,54 @@ impl Cluster {
         self.events.push(done, Event::SsdWriteDone(id));
     }
 
+    /// Runs one target's deficit-round-robin scheduler: while the
+    /// admission cap has room and tenants have queued writes, the
+    /// cursor tenant earns `weight × quantum` blocks of deficit per
+    /// visit and drains queue heads while the deficit lasts. Admitted
+    /// writes hit the SSD at `now`; their wait is recorded in the
+    /// per-tenant admission histogram.
+    fn drr_pump(&mut self, now: SimTime, target_idx: usize) {
+        let mut admit: Vec<(usize, u64, SimTime)> = Vec::new();
+        if let Some(drr) = &mut self.targets[target_idx].drr {
+            let n = drr.queues.len();
+            while drr.outstanding < DRR_OUTSTANDING_CAP && !drr.is_empty() {
+                let i = drr.cursor;
+                if drr.queues[i].is_empty() {
+                    // An emptied queue forfeits its leftover deficit
+                    // (classic DRR: no banking while idle).
+                    drr.deficits[i] = 0;
+                    drr.cursor = (i + 1) % n;
+                    drr.fresh = true;
+                    continue;
+                }
+                // One quantum per *visit*, not per pump call: the
+                // outstanding cap slices a visit across many calls,
+                // and re-granting the quantum on every admission slot
+                // would collapse the weights into plain round-robin.
+                if drr.fresh {
+                    drr.deficits[i] += DRR_QUANTUM_BLOCKS * drr.weights[i].max(1) as u64;
+                    drr.fresh = false;
+                }
+                let &(id, queued_at, blocks) = drr.queues[i].front().expect("non-empty");
+                if (blocks as u64) > drr.deficits[i] {
+                    // Deficit spent; the remainder carries into the
+                    // next round so oversized writes still progress.
+                    drr.cursor = (i + 1) % n;
+                    drr.fresh = true;
+                    continue;
+                }
+                drr.deficits[i] -= blocks as u64;
+                drr.queues[i].pop_front();
+                drr.outstanding += 1;
+                admit.push((i, id, queued_at));
+            }
+        }
+        for (tenant_idx, id, queued_at) in admit {
+            self.tenant_gate_wait[tenant_idx].record(now.since(queued_at));
+            self.ssd_submit_now(now, id);
+        }
+    }
+
     /// Submits a command's embedded FLUSH at the event's instant.
     fn on_ssd_flush_submit(&mut self, now: SimTime, id: u64) {
         let (target_idx, ssd_idx) = {
@@ -1689,8 +2008,11 @@ impl Cluster {
         attr: OrderingAttr,
         id: u64,
     ) -> SimTime {
+        let core = {
+            let cmd = self.cmds.get(id).expect("cmd exists");
+            self.conn_qp(cmd.thread, cmd.qp)
+        };
         let cmd = self.cmds.get_mut(id).expect("cmd exists");
-        let core = cmd.qp;
         // Persist the ordering attribute before the data (step ⑤).
         let rec = attr.to_pmr_record(0);
         let target = &mut self.targets[target_idx];
@@ -1758,7 +2080,7 @@ impl Cluster {
             let plp = self.targets[cmd.target].ssds[cmd.ssd].profile().plp;
             (
                 cmd.target,
-                cmd.qp,
+                self.conn_qp(cmd.thread, cmd.qp),
                 cmd.flush_embedded,
                 cmd.attr.is_some(),
                 cmd.slot,
@@ -1766,6 +2088,12 @@ impl Cluster {
                 cmd.trace,
             )
         };
+        if let Some(drr) = &mut self.targets[target_idx].drr {
+            // A completed write frees one admission slot; let the DRR
+            // refill it before the completion is processed.
+            drr.outstanding = drr.outstanding.saturating_sub(1);
+            self.drr_pump(now, target_idx);
+        }
         if let Some(tr) = &mut self.trace {
             // An embedded FLUSH overwrites this stamp when it lands
             // (last write wins): media-done is the durability instant.
@@ -1798,7 +2126,13 @@ impl Cluster {
     fn on_ssd_flush_done(&mut self, now: SimTime, id: u64) {
         let (target_idx, core, is_rio, slot_opt, tid) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp, cmd.attr.is_some(), cmd.slot, cmd.trace)
+            (
+                cmd.target,
+                self.conn_qp(cmd.thread, cmd.qp),
+                cmd.attr.is_some(),
+                cmd.slot,
+                cmd.trace,
+            )
         };
         if let Some(tr) = &mut self.trace {
             tr.rec(tid, Stage::MediaDone, now);
@@ -1826,7 +2160,7 @@ impl Cluster {
     fn send_completion(&mut self, now: SimTime, id: u64) {
         let (target_idx, qp) = {
             let cmd = self.cmds.get(id).expect("cmd exists");
-            (cmd.target, cmd.qp)
+            (cmd.target, self.conn_qp(cmd.thread, cmd.qp))
         };
         let step = self.fabric.send_burst(
             &mut self.targets[target_idx].nic,
@@ -1842,9 +2176,7 @@ impl Cluster {
     fn on_cmd_complete(&mut self, now: SimTime, id: u64) {
         let cmd = self.cmds.remove(id).expect("cmd exists");
         let t = cmd.thread;
-        let cpu = self
-            .init_cores
-            .run_on(self.threads[t].core, now, self.cfg.cpu.irq);
+        let cpu = self.init_run_on(t, now, self.cfg.cpu.irq);
         if let Some(tr) = &mut self.trace {
             tr.rec(cmd.trace, Stage::Complete, cpu);
             if cmd.attr.is_none() {
@@ -1875,8 +2207,9 @@ impl Cluster {
             // Rio: unroll the unit's parts into the in-order completer.
             let mut delivered = std::mem::take(&mut self.delivered_scratch);
             delivered.clear();
+            let init = self.threads[t].init;
             for part in &unit.parts {
-                self.completer.on_done_into(part, &mut delivered);
+                self.initiators[init].completer.on_done_into(part, &mut delivered);
             }
             let stream = unit.parts[0].stream;
             if let Some(tr) = &mut self.trace {
@@ -1885,7 +2218,12 @@ impl Cluster {
                 if let Some(&last) = delivered.last() {
                     tr.deliver(stream.0 as usize, last.0, cpu);
                 }
-                tr.note_completer_held(self.completer.total_pending() as u64);
+                let held: usize = self
+                    .initiators
+                    .iter()
+                    .map(|i| i.completer.total_pending())
+                    .sum();
+                tr.note_completer_held(held as u64);
             }
             for &seq in &delivered {
                 let info = self.group_info[stream.0 as usize]
@@ -1905,6 +2243,12 @@ impl Cluster {
                 self.released_through[stream.0 as usize] =
                     self.released_through[stream.0 as usize].max(seq.0);
                 let owner = info.thread;
+                let owner_init = self.threads[owner].init;
+                let im = &mut self.initiators[owner_init];
+                im.groups_done += 1;
+                im.blocks_done += info.blocks as u64;
+                im.group_latency.record(cpu.since(info.submitted));
+                im.finished_at = im.finished_at.max(cpu);
                 self.threads[owner].inflight -= 1;
                 self.maybe_wake(cpu, owner);
             }
@@ -1917,6 +2261,7 @@ impl Cluster {
                     self.blocks_done += unit.blocks as u64;
                     self.group_latency.record(cpu.since(unit.submitted));
                     self.last_completion = self.last_completion.max(cpu);
+                    self.note_plain_done(t, &unit, cpu);
                     self.on_sync_write_complete(cpu, t, &cmd);
                 }
                 _ => {
@@ -1925,6 +2270,7 @@ impl Cluster {
                     self.blocks_done += unit.blocks as u64;
                     self.group_latency.record(cpu.since(unit.submitted));
                     self.last_completion = self.last_completion.max(cpu);
+                    self.note_plain_done(t, &unit, cpu);
                     self.threads[t].inflight -= unit.plain_groups as usize;
                     self.maybe_wake(cpu, t);
                 }
@@ -1932,21 +2278,28 @@ impl Cluster {
         }
     }
 
+    /// Folds a finished baseline (non-Rio) unit into its owning
+    /// initiator's per-initiator breakdown.
+    fn note_plain_done(&mut self, t: usize, unit: &Unit, cpu: SimTime) {
+        let init = self.threads[t].init;
+        let im = &mut self.initiators[init];
+        im.groups_done += unit.plain_groups;
+        im.blocks_done += unit.blocks as u64;
+        im.group_latency.record(cpu.since(unit.submitted));
+        im.finished_at = im.finished_at.max(cpu);
+    }
+
     /// Linux mode: after the ordered write completes, send a FLUSH leg
     /// when the group requires one, otherwise finish the group.
     fn on_sync_write_complete(&mut self, now: SimTime, t: usize, cmd: &Cmd) {
         debug_assert_eq!(self.threads[t].sync_stage, SyncStage::AwaitWrite);
-        let cpu = self
-            .init_cores
-            .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+        let cpu = self.init_run_on(t, now, self.cfg.cpu.ctx_switch);
         if !self.threads[t].cur_flush_leg {
             self.finish_sync_group(cpu, t);
             return;
         }
         self.threads[t].sync_stage = SyncStage::AwaitFlush { remaining: 1 };
-        let c = self
-            .init_cores
-            .run_on(self.threads[t].core, cpu, self.cfg.cpu.cmd_post);
+        let c = self.init_run_on(t, cpu, self.cfg.cpu.cmd_post);
         let flush_cmd = Cmd {
             kind: CmdKind::Flush,
             thread: t,
@@ -1991,9 +2344,7 @@ impl Cluster {
         if self.threads[t].cur_sync_after {
             self.finish_op(t, now);
         }
-        let cpu = self
-            .init_cores
-            .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+        let cpu = self.init_run_on(t, now, self.cfg.cpu.ctx_switch);
         self.events.push(cpu, Event::Resume(t));
     }
 
@@ -2005,9 +2356,7 @@ impl Cluster {
                 self.threads[t].syncing = false;
                 self.finish_op(t, now);
                 self.threads[t].parked = false;
-                let cpu =
-                    self.init_cores
-                        .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+                let cpu = self.init_run_on(t, now, self.cfg.cpu.ctx_switch);
                 self.events.push(cpu, Event::Resume(t));
             }
             return;
@@ -2017,9 +2366,7 @@ impl Cluster {
             && self.threads[t].inflight < self.cfg.max_inflight_per_stream
         {
             self.threads[t].parked = false;
-            let cpu = self
-                .init_cores
-                .run_on(self.threads[t].core, now, self.cfg.cpu.ctx_switch);
+            let cpu = self.init_run_on(t, now, self.cfg.cpu.ctx_switch);
             self.events.push(cpu, Event::Resume(t));
         }
     }
@@ -2088,8 +2435,14 @@ impl Cluster {
         }
         for t in &mut self.targets {
             t.nic.crash_reset(now);
+            // Queued-but-unadmitted tenant work died with its commands.
+            if let Some(drr) = &mut t.drr {
+                drr.clear();
+            }
         }
-        self.init_nic.crash_reset(now);
+        for init in &mut self.initiators {
+            init.nic.crash_reset(now);
+        }
 
         // Alive targets keep power: every command their SSDs already
         // accepted completes on-device (microseconds) long before the
@@ -2178,7 +2531,7 @@ impl Cluster {
         // the group was never delivered). A corrupt block outside any
         // tracked group (e.g. rot on already-delivered data) is
         // unrepairable data loss: reported and discarded.
-        let mut repair_cut = vec![u32::MAX; self.cfg.streams];
+        let mut repair_cut = vec![u32::MAX; self.cfg.total_streams()];
         let mut extra_discards: Vec<(usize, usize, u64)> = Vec::new();
         let mut scrub_parallel = SimDuration::ZERO;
         if self.integrity {
@@ -2272,7 +2625,7 @@ impl Cluster {
         if ev.resume {
             self.reset_after_recovery(&plan, &repair_cut, resumed_at, &mut streams);
         } else {
-            for s in 0..self.cfg.streams {
+            for s in 0..self.cfg.total_streams() {
                 let stream = StreamId(s as u16);
                 let delivered = Seq(self.released_through[s]);
                 let valid = plan
@@ -2328,7 +2681,7 @@ impl Cluster {
         resumed_at: SimTime,
         out: &mut Vec<StreamRecovery>,
     ) {
-        let n_streams = self.cfg.streams;
+        let n_streams = self.cfg.total_streams();
         let n_threads = self.threads.len();
         let mut resume_seq = vec![0u32; n_streams];
         for s in 0..n_streams {
@@ -2368,6 +2721,12 @@ impl Cluster {
                     self.groups_done += 1;
                     self.blocks_done += spec.blocks() as u64;
                     self.group_latency.record(resumed_at.since(info.submitted));
+                    let init = self.threads[t].init;
+                    let im = &mut self.initiators[init];
+                    im.groups_done += 1;
+                    im.blocks_done += spec.blocks() as u64;
+                    im.group_latency.record(resumed_at.since(info.submitted));
+                    im.finished_at = im.finished_at.max(resumed_at);
                     redelivered += 1;
                 }
                 // 2. Everything beyond the prefix was rolled back:
@@ -2410,9 +2769,13 @@ impl Cluster {
                         .collect()
                 })
                 .unwrap_or_else(|| vec![Seq::HEAD; self.targets.len()]);
-            self.sequencer
+            let init = self.initiator_of_stream(s);
+            self.initiators[init]
+                .sequencer
                 .reset_stream(stream, Seq(resume + 1), &resume_prev);
-            self.completer.reset_stream(stream, Seq(resume));
+            self.initiators[init]
+                .completer
+                .reset_stream(stream, Seq(resume));
             self.released_through[s] = resume;
 
             out.push(StreamRecovery {
@@ -2468,7 +2831,9 @@ impl Cluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{FabricConfig, FaultEvent, FaultKind, FaultPlan, TargetConfig};
+    use crate::config::{
+        FabricConfig, FaultEvent, FaultKind, FaultPlan, InitiatorConfig, TargetConfig,
+    };
     use proptest::prelude::*;
     use rio_net::FabricProfile;
     use rio_ssd::SsdProfile;
@@ -2494,6 +2859,7 @@ mod tests {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            initiators: Vec::new(),
         }
     }
 
@@ -2796,6 +3162,7 @@ mod tests {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            initiators: Vec::new(),
         }
     }
 
@@ -3198,6 +3565,238 @@ mod tests {
         assert_eq!(a.blocks_done, b.blocks_done);
         assert_eq!(a.span.as_nanos(), b.span.as_nanos());
         assert_eq!(a.commands_sent, b.commands_sent);
+    }
+
+    // ---- multi-initiator & tenancy -----------------------------------------
+
+    /// The 4-initiator × 4-target acceptance scenario: lossy fabric,
+    /// one tenant per initiator, every group delivered exactly once
+    /// per tenant, equal weights serviced fairly (Jain ≥ 0.95), and
+    /// the whole thing replays byte-identically.
+    #[test]
+    fn four_initiators_four_targets_lossy_exactly_once_and_fair() {
+        let groups = 150u64;
+        let run = || {
+            let mut cfg =
+                ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 4, 2, 4);
+            cfg.net = FabricConfig::lossy(1e-3, 2);
+            Cluster::new(cfg, Workload::random_4k(8, groups)).run()
+        };
+        let m = run();
+        assert_eq!(m.groups_done, 8 * groups, "exactly once overall");
+        assert_eq!(m.tenants.len(), 4);
+        for t in &m.tenants {
+            assert_eq!(t.groups_done, 2 * groups, "tenant {} exactly once", t.tenant);
+        }
+        for i in &m.initiators {
+            assert_eq!(i.groups_done, 2 * groups);
+            assert!(i.commands_sent > 0, "initiator {} sent nothing", i.initiator);
+            assert!(i.util > 0.0);
+        }
+        let jain = m.tenant_fairness();
+        assert!(jain >= 0.95, "equal weights must be fair: {jain}");
+        assert!(
+            m.tenants.iter().any(|t| t.gate_wait.count() > 0),
+            "multi-tenant DRR admission must be exercised"
+        );
+        assert_eq!(m, run(), "same seed replays byte-identically");
+    }
+
+    /// An explicit `initiators: [default]` run is byte-identical to
+    /// the legacy scalar-field single-initiator path — same derived
+    /// config, same event interleaving, same metrics, field by field.
+    #[test]
+    fn explicit_single_initiator_matches_legacy_byte_for_byte() {
+        let threads = 2usize;
+        let legacy = {
+            let cfg = small_cfg(OrderingMode::Rio { merge: true }, threads);
+            Cluster::new(cfg, Workload::random_4k(threads, 300)).run()
+        };
+        let explicit = {
+            let mut cfg = small_cfg(OrderingMode::Rio { merge: true }, threads);
+            cfg.initiators = vec![InitiatorConfig {
+                cores: cfg.initiator_cores,
+                streams: cfg.streams,
+                tenant: 0,
+                weight: 1,
+            }];
+            Cluster::new(cfg, Workload::random_4k(threads, 300)).run()
+        };
+        assert_eq!(legacy, explicit);
+    }
+
+    /// Regression for the latent single-NIC assumption in metrics
+    /// assembly: `NetMetrics::absorb` must fold in *every* initiator's
+    /// NIC, and the per-initiator command counters must partition the
+    /// global one.
+    #[test]
+    fn per_initiator_breakdowns_partition_global_totals() {
+        let groups = 200u64;
+        let m = {
+            let cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 3, 1, 2);
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        assert_eq!(m.initiators.len(), 3);
+        assert_eq!(
+            m.initiators.iter().map(|i| i.commands_sent).sum::<u64>(),
+            m.commands_sent,
+            "per-initiator command counts must partition the total"
+        );
+        assert_eq!(
+            m.initiators.iter().map(|i| i.groups_done).sum::<u64>(),
+            m.groups_done
+        );
+        assert_eq!(
+            m.initiators.iter().map(|i| i.blocks_done).sum::<u64>(),
+            m.blocks_done
+        );
+        // Each initiator moved real bytes through its own NIC; if
+        // absorb only saw one NIC the aggregate would undercount the
+        // per-command wire traffic by ~3x.
+        let single = {
+            let cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 1, 1, 2);
+            Cluster::new(cfg, Workload::random_4k(1, groups)).run()
+        };
+        assert!(
+            m.net.bytes_out > 2 * single.net.bytes_out,
+            "3 initiators must put ~3x one initiator's bytes on the wire \
+             ({} vs {})",
+            m.net.bytes_out,
+            single.net.bytes_out
+        );
+    }
+
+    /// Skewed QoS weights order tenant throughput: with equal demand
+    /// and a shared saturated target, the weight-4 tenant must beat
+    /// the weight-1 tenant, and weight-normalized fairness stays high.
+    #[test]
+    fn skewed_weights_order_tenant_throughput() {
+        let groups = 400u64;
+        let mut cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 2, 2, 1);
+        cfg.initiators[0] = cfg.initiators[0].clone().with_weight(4);
+        let m = Cluster::new(cfg, Workload::random_4k(4, groups)).run();
+        assert_eq!(m.groups_done, 4 * groups, "exactly once");
+        assert_eq!(m.tenants.len(), 2);
+        let heavy = m.tenants.iter().find(|t| t.weight == 4).expect("weight 4");
+        let light = m.tenants.iter().find(|t| t.weight == 1).expect("weight 1");
+        assert!(
+            heavy.block_iops() > light.block_iops(),
+            "weight 4 must outrun weight 1: {} vs {}",
+            heavy.block_iops(),
+            light.block_iops()
+        );
+        assert!(
+            heavy.gate_wait.count() + light.gate_wait.count() > 0,
+            "a saturated shared target must queue in the DRR"
+        );
+    }
+
+    /// A multi-initiator run whose initiators all share one tenant id
+    /// keeps the DRR scheduler inert: no admission queueing, one
+    /// tenant row whose counters equal the global totals.
+    #[test]
+    fn single_tenant_multi_initiator_keeps_drr_inert() {
+        let mut cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 2, 1, 1);
+        for ic in &mut cfg.initiators {
+            ic.tenant = 7;
+        }
+        let m = Cluster::new(cfg, Workload::random_4k(2, 200)).run();
+        assert_eq!(m.tenants.len(), 1);
+        assert_eq!(m.tenants[0].tenant, 7);
+        assert_eq!(m.tenants[0].groups_done, m.groups_done);
+        assert_eq!(m.tenants[0].gate_wait.count(), 0, "single tenant: no DRR");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Exactly-once and per-stream in-order for any M∈1..=4
+        /// initiators × per-initiator stream count × loss < 1e-2, in
+        /// every ordering mode — plus, for Rio, an optional mid-run
+        /// target crash that the run must survive with the same
+        /// guarantee per tenant.
+        #[test]
+        fn prop_multi_initiator_exactly_once(
+            n_init in 1usize..=4,
+            streams_each in 1usize..=2,
+            loss in 0.0f64..0.01,
+            crash in any::<bool>(),
+            seed in any::<u64>(),
+        ) {
+            let threads = n_init * streams_each;
+            for mode in [
+                OrderingMode::Orderless,
+                OrderingMode::LinuxNvmf,
+                OrderingMode::Horae,
+                OrderingMode::Rio { merge: true },
+            ] {
+                let groups = if mode == OrderingMode::LinuxNvmf { 12 } else { 40 };
+                let mut cfg = ClusterConfig::multi_initiator(mode.clone(), n_init, streams_each, 2);
+                cfg.seed = seed;
+                cfg.net = FabricConfig::lossy(loss, 2);
+                cfg.net.rto_us = 25.0;
+                let m = Cluster::new(cfg.clone(), Workload::random_4k(threads, groups)).run();
+                prop_assert_eq!(
+                    m.groups_done, threads as u64 * groups,
+                    "{} lost groups", mode.label()
+                );
+                prop_assert_eq!(m.tenants.len(), n_init);
+                for t in &m.tenants {
+                    prop_assert_eq!(
+                        t.groups_done, streams_each as u64 * groups,
+                        "tenant {} not exactly-once in {}", t.tenant, mode.label()
+                    );
+                }
+
+                // The crash leg only exists on Rio (fault injection
+                // requires persisted ORDER attributes).
+                if crash && matches!(mode, OrderingMode::Rio { .. }) {
+                    let crash_at = SimTime::from_nanos(m.finished_at.as_nanos() / 2);
+                    let mut crashing = cfg;
+                    crashing.faults = FaultPlan::survivable_crash(crash_at, vec![1]);
+                    let c = Cluster::new(crashing, Workload::random_4k(threads, groups)).run();
+                    prop_assert_eq!(c.groups_done, threads as u64 * groups);
+                    prop_assert_eq!(c.recoveries.len(), 1);
+                    for t in &c.tenants {
+                        prop_assert_eq!(
+                            t.groups_done, streams_each as u64 * groups,
+                            "tenant {} not exactly-once across the crash", t.tenant
+                        );
+                    }
+                }
+            }
+        }
+
+        /// Fairness: equal-weight tenants on one saturated target stay
+        /// within Jain ≥ 0.95; a 4:1 weight skew strictly orders the
+        /// two tenants' throughput.
+        #[test]
+        fn prop_tenant_fairness(
+            n_init in 2usize..=4,
+            seed in any::<u64>(),
+        ) {
+            let groups = 250u64;
+            let mut cfg =
+                ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, n_init, 1, 1);
+            cfg.seed = seed;
+            let m = Cluster::new(cfg, Workload::random_4k(n_init, groups)).run();
+            prop_assert_eq!(m.groups_done, n_init as u64 * groups);
+            let jain = m.tenant_fairness();
+            prop_assert!(jain >= 0.95, "equal weights must be fair: {}", jain);
+
+            let mut skew =
+                ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 2, 1, 1);
+            skew.seed = seed;
+            skew.initiators[0] = skew.initiators[0].clone().with_weight(4);
+            let s = Cluster::new(skew, Workload::random_4k(2, 400)).run();
+            let heavy = s.tenants.iter().find(|t| t.weight == 4).expect("weight 4");
+            let light = s.tenants.iter().find(|t| t.weight == 1).expect("weight 1");
+            prop_assert!(
+                heavy.block_iops() > light.block_iops(),
+                "weight 4 ({}) must outrun weight 1 ({})",
+                heavy.block_iops(), light.block_iops()
+            );
+        }
     }
 
     #[test]

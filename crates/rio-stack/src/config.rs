@@ -263,6 +263,50 @@ impl FaultPlan {
     }
 }
 
+/// One initiator server in a multi-initiator cluster.
+///
+/// Each initiator owns its own NIC, [`rio_order`] sequencer, in-order
+/// completer and a contiguous slice of the global stream-id space; a
+/// global stream id is `stream_base + local stream`, so target-side
+/// structures keyed by stream (submission gate, PMR log, ORDER slots)
+/// are implicitly keyed by `(initiator, stream)` without collisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitiatorConfig {
+    /// Cores available to this initiator's driver.
+    pub cores: usize,
+    /// Ordered streams this initiator opens; each stream is driven by
+    /// one workload thread (the global workload thread count must equal
+    /// the sum of all initiators' `streams`).
+    pub streams: usize,
+    /// Tenant this initiator belongs to. Targets schedule SSD
+    /// admissions fairly *across tenants* (deficit round-robin) when a
+    /// run has more than one distinct tenant.
+    pub tenant: u32,
+    /// QoS weight of this initiator's tenant: under contention a
+    /// tenant's share of target service is proportional to the sum of
+    /// its initiators' weights. Must be at least 1.
+    pub weight: u32,
+}
+
+impl InitiatorConfig {
+    /// An initiator with `streams` streams, tenant `tenant`, weight 1
+    /// and the canned 36-core driver.
+    pub fn new(streams: usize, tenant: u32) -> Self {
+        InitiatorConfig {
+            cores: 36,
+            streams,
+            tenant,
+            weight: 1,
+        }
+    }
+
+    /// Sets the QoS weight.
+    pub fn with_weight(mut self, weight: u32) -> Self {
+        self.weight = weight;
+        self
+    }
+}
+
 /// One target server.
 #[derive(Debug, Clone)]
 pub struct TargetConfig {
@@ -355,7 +399,17 @@ pub struct ClusterConfig {
     /// CPU cost model.
     pub cpu: CpuCosts,
     /// Number of ordered streams (`rio_setup`; default = threads).
+    /// Ignored when [`ClusterConfig::initiators`] is non-empty — the
+    /// stream space is then the concatenation of every initiator's
+    /// streams.
     pub streams: usize,
+    /// Initiator servers. Empty (the default everywhere) means the
+    /// classic single-initiator cluster derived from
+    /// [`ClusterConfig::initiator_cores`] and [`ClusterConfig::streams`]
+    /// — that path is byte-identical to builds without this field.
+    /// Non-empty lists build one NIC + sequencer + completer per entry
+    /// over a shared global stream space.
+    pub initiators: Vec<InitiatorConfig>,
     /// NIC queue pairs per (initiator, target) connection.
     pub qps_per_target: usize,
     /// Stripe unit in blocks for multi-SSD volumes (4 KB round-robin
@@ -406,6 +460,7 @@ impl ClusterConfig {
             net: FabricConfig::default(),
             cpu: CpuCosts::default(),
             streams,
+            initiators: Vec::new(),
             qps_per_target: 36,
             stripe_blocks: 1,
             max_inflight_per_stream: 48,
@@ -437,6 +492,7 @@ impl ClusterConfig {
             net: FabricConfig::default(),
             cpu: CpuCosts::default(),
             streams,
+            initiators: Vec::new(),
             qps_per_target: 36,
             stripe_blocks: 1,
             max_inflight_per_stream: 48,
@@ -445,6 +501,58 @@ impl ClusterConfig {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+        }
+    }
+
+    /// A multi-initiator cluster: `n_initiators` equal-weight tenants
+    /// (tenant id = initiator index), `streams_each` streams per
+    /// initiator, one Optane 905P target per `n_targets`.
+    pub fn multi_initiator(
+        mode: OrderingMode,
+        n_initiators: usize,
+        streams_each: usize,
+        n_targets: usize,
+    ) -> Self {
+        let mut cfg = ClusterConfig::single_ssd(
+            mode,
+            SsdProfile::optane905p(),
+            n_initiators * streams_each,
+        );
+        cfg.targets = (0..n_targets.max(1))
+            .map(|_| TargetConfig {
+                ssds: vec![SsdProfile::optane905p()],
+                cores: 36,
+            })
+            .collect();
+        cfg.initiators = (0..n_initiators)
+            .map(|i| InitiatorConfig::new(streams_each, i as u32))
+            .collect();
+        cfg
+    }
+
+    /// The effective initiator list: the configured
+    /// [`ClusterConfig::initiators`], or the implicit single initiator
+    /// the legacy `initiator_cores` / `streams` fields describe.
+    pub fn effective_initiators(&self) -> Vec<InitiatorConfig> {
+        if self.initiators.is_empty() {
+            vec![InitiatorConfig {
+                cores: self.initiator_cores,
+                streams: self.streams,
+                tenant: 0,
+                weight: 1,
+            }]
+        } else {
+            self.initiators.clone()
+        }
+    }
+
+    /// Total streams across all effective initiators — the size of the
+    /// global stream-id space every per-stream structure is sized for.
+    pub fn total_streams(&self) -> usize {
+        if self.initiators.is_empty() {
+            self.streams
+        } else {
+            self.initiators.iter().map(|i| i.streams).sum()
         }
     }
 
@@ -474,5 +582,35 @@ mod tests {
         let c = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 12);
         assert_eq!(c.total_ssds(), 4);
         assert_eq!(c.targets.len(), 2);
+    }
+
+    #[test]
+    fn empty_initiators_derive_the_legacy_single_initiator() {
+        let c = ClusterConfig::single_ssd(OrderingMode::Orderless, SsdProfile::pm981(), 4);
+        assert!(c.initiators.is_empty());
+        assert_eq!(c.total_streams(), 4);
+        let eff = c.effective_initiators();
+        assert_eq!(
+            eff,
+            vec![InitiatorConfig {
+                cores: c.initiator_cores,
+                streams: 4,
+                tenant: 0,
+                weight: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_initiator_concatenates_stream_spaces() {
+        let c = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 3, 2, 2);
+        assert_eq!(c.initiators.len(), 3);
+        assert_eq!(c.targets.len(), 2);
+        assert_eq!(c.total_streams(), 6);
+        let eff = c.effective_initiators();
+        assert_eq!(eff.len(), 3);
+        assert_eq!(eff[1].tenant, 1);
+        assert_eq!(eff[2].weight, 1);
+        assert_eq!(InitiatorConfig::new(2, 0).with_weight(4).weight, 4);
     }
 }

@@ -41,11 +41,12 @@ pub mod workload;
 
 pub use cluster::Cluster;
 pub use config::{
-    ClusterConfig, CpuCosts, FabricConfig, FaultEvent, FaultKind, FaultPlan, OrderingMode,
-    TargetConfig,
+    ClusterConfig, CpuCosts, FabricConfig, FaultEvent, FaultKind, FaultPlan, InitiatorConfig,
+    OrderingMode, TargetConfig,
 };
 pub use metrics::{
-    EpochMetrics, IntegrityMetrics, NetMetrics, RecoveryMetrics, RunMetrics, StreamRecovery,
+    jain_index, EpochMetrics, InitiatorMetrics, IntegrityMetrics, NetMetrics, RecoveryMetrics,
+    RunMetrics, StreamRecovery, TenantMetrics,
 };
 pub use trace::{CmdTraceRecord, LatencyBreakdown, Stage, TraceConfig};
 pub use workload::Workload;

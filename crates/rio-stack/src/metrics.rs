@@ -133,6 +133,100 @@ impl IntegrityMetrics {
     }
 }
 
+/// Per-initiator breakdown of one run (one entry per effective
+/// initiator, in configuration order). The single-initiator path
+/// produces exactly one entry whose totals mirror the run-wide fields.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InitiatorMetrics {
+    /// Initiator index in [`crate::config::ClusterConfig::initiators`].
+    pub initiator: usize,
+    /// Tenant this initiator belongs to.
+    pub tenant: u32,
+    /// QoS weight of this initiator.
+    pub weight: u32,
+    /// First global stream id of this initiator's slice.
+    pub stream_base: usize,
+    /// Streams in this initiator's slice.
+    pub streams: usize,
+    /// Ordered groups this initiator delivered.
+    pub groups_done: u64,
+    /// Blocks this initiator delivered.
+    pub blocks_done: u64,
+    /// NVMe-oF commands this initiator sent.
+    pub commands_sent: u64,
+    /// Commands of this initiator the target gates buffered out of
+    /// order.
+    pub gate_buffered: u64,
+    /// Per-group completion latency of this initiator's groups.
+    pub group_latency: Histogram,
+    /// This initiator's driver CPU utilisation in `[0, 1]`.
+    pub util: f64,
+    /// When this initiator's last group was delivered.
+    pub finished_at: SimTime,
+}
+
+impl InitiatorMetrics {
+    /// Blocks per second over this initiator's active span.
+    pub fn block_iops(&self) -> f64 {
+        if self.finished_at.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.blocks_done as f64 / (self.finished_at.as_nanos() as f64 / 1e9)
+    }
+}
+
+/// Per-tenant breakdown of one run: the sum of the tenant's
+/// initiators, plus the deficit-round-robin admission wait the target
+/// schedulers imposed (all-zero histogram when the run had a single
+/// tenant — the scheduler is inert then).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Sum of the tenant's initiators' QoS weights.
+    pub weight: u32,
+    /// Ordered groups delivered for this tenant.
+    pub groups_done: u64,
+    /// Blocks delivered for this tenant.
+    pub blocks_done: u64,
+    /// Per-group completion latency for this tenant.
+    pub group_latency: Histogram,
+    /// Nanoseconds commands waited in the target-side per-tenant DRR
+    /// admission queues (empty when the scheduler was inert).
+    pub gate_wait: Histogram,
+    /// When this tenant's last group was delivered.
+    pub finished_at: SimTime,
+}
+
+impl TenantMetrics {
+    /// Blocks per second over this tenant's active span (run start to
+    /// its last delivery) — the fairness comparison axis: under
+    /// saturation a heavier tenant drains the same demand in less
+    /// time, so throughput orders by weight.
+    pub fn block_iops(&self) -> f64 {
+        if self.finished_at.as_nanos() == 0 {
+            return 0.0;
+        }
+        self.blocks_done as f64 / (self.finished_at.as_nanos() as f64 / 1e9)
+    }
+}
+
+/// Jain's fairness index over a set of per-tenant rates:
+/// `(Σx)² / (n · Σx²)`. 1.0 is perfectly fair; `1/n` is maximally
+/// unfair. Empty or all-zero input returns 1.0 (nothing to be unfair
+/// about).
+pub fn jain_index(rates: &[f64]) -> f64 {
+    if rates.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = rates.iter().sum();
+    let sq_sum: f64 = rates.iter().map(|x| x * x).sum();
+    if sq_sum <= 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (rates.len() as f64 * sq_sum)
+}
+
 /// Per-stream outcome of one in-run recovery.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamRecovery {
@@ -261,6 +355,11 @@ pub struct RunMetrics {
     /// Per-command stage latency breakdown — `Some` only when the run
     /// was configured with [`crate::config::ClusterConfig::trace`].
     pub breakdown: Option<crate::trace::LatencyBreakdown>,
+    /// Per-initiator breakdown, one entry per effective initiator.
+    pub initiators: Vec<InitiatorMetrics>,
+    /// Per-tenant breakdown, one entry per distinct tenant id in
+    /// ascending order.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl RunMetrics {
@@ -309,6 +408,25 @@ impl RunMetrics {
         }
         self.block_iops() / self.target_util
     }
+
+    /// Jain's fairness index over per-tenant throughput (blocks/sec
+    /// across each tenant's active span). 1.0 with a single tenant.
+    pub fn tenant_fairness(&self) -> f64 {
+        let rates: Vec<f64> = self.tenants.iter().map(|t| t.block_iops()).collect();
+        jain_index(&rates)
+    }
+
+    /// Jain's fairness index over *weight-normalized* per-tenant
+    /// throughput: 1.0 means every tenant got service exactly
+    /// proportional to its QoS weight.
+    pub fn weighted_tenant_fairness(&self) -> f64 {
+        let rates: Vec<f64> = self
+            .tenants
+            .iter()
+            .map(|t| t.block_iops() / t.weight.max(1) as f64)
+            .collect();
+        jain_index(&rates)
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +453,8 @@ mod tests {
             epochs: Vec::new(),
             finished_at: SimTime::ZERO,
             breakdown: None,
+            initiators: Vec::new(),
+            tenants: Vec::new(),
         }
     }
 
@@ -422,5 +542,44 @@ mod tests {
             agg.absorb(&nic);
         }
         assert_eq!(agg.retx_inflight_peak, 2, "sum of per-NIC peaks");
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // One tenant hogging everything: 1/n.
+        assert!((jain_index(&[9.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        // Mild skew sits in between.
+        let j = jain_index(&[4.0, 5.0]);
+        assert!(j > 0.98 && j < 1.0, "mild skew: {j}");
+    }
+
+    #[test]
+    fn tenant_fairness_normalizes_by_weight() {
+        let tenant = |id: u32, weight: u32, blocks: u64, ns: u64| TenantMetrics {
+            tenant: id,
+            weight,
+            groups_done: blocks,
+            blocks_done: blocks,
+            group_latency: Histogram::new(),
+            gate_wait: Histogram::new(),
+            finished_at: SimTime::from_nanos(ns),
+        };
+        let mut m = metrics(0, 0, 0.0);
+        // Tenant 0 (weight 2) drained its demand in half the time of
+        // tenant 1 (weight 1): raw throughput is 2:1, exactly the
+        // weight ratio.
+        m.tenants = vec![
+            tenant(0, 2, 1_000, 500_000_000),
+            tenant(1, 1, 1_000, 1_000_000_000),
+        ];
+        assert!(m.tenant_fairness() < 0.95, "raw rates are skewed");
+        assert!(
+            m.weighted_tenant_fairness() > 0.999,
+            "weight-normalized rates are even: {}",
+            m.weighted_tenant_fairness()
+        );
     }
 }

@@ -83,8 +83,15 @@ pub(crate) const TRACE_NONE: u32 = u32::MAX;
 /// One command's trace: identity, stage timestamps and annotations.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CmdTraceRecord {
-    /// Ordered stream, or the submitting thread's stream for
-    /// unordered commands.
+    /// Initiator that issued the command. Trace slot ids are recycled
+    /// across the whole cluster, so a record's identity is
+    /// `(initiator, stream, seq)` — never the arena id alone, which
+    /// collides across initiators.
+    pub initiator: u16,
+    /// *Global* ordered stream (initiator stream base + local stream),
+    /// or the submitting thread's stream for unordered commands.
+    /// Global ids keep the per-stream delivery queues collision-free
+    /// across initiators.
     pub stream: u16,
     /// First group sequence covered (0 for unordered commands).
     pub seq_start: u32,
@@ -129,6 +136,7 @@ pub struct CmdTraceRecord {
 impl CmdTraceRecord {
     fn new() -> Self {
         CmdTraceRecord {
+            initiator: 0,
             stream: 0,
             seq_start: 0,
             seq_end: 0,
@@ -295,6 +303,7 @@ impl StageTrace {
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn open(
         &mut self,
+        initiator: u16,
         stream: u16,
         seq: Option<(u32, u32)>,
         server: u16,
@@ -314,6 +323,7 @@ impl StageTrace {
         };
         let r = &mut self.slots[id as usize];
         *r = CmdTraceRecord::new();
+        r.initiator = initiator;
         r.stream = stream;
         r.server = server;
         r.ssd = ssd;
@@ -506,7 +516,7 @@ mod tests {
     /// Opens an unordered trace, stamps the whole baseline chain and
     /// closes it at `base + 40`.
     fn run_unordered(tr: &mut StageTrace, base: u64, lba: u64) -> u32 {
-        let id = tr.open(0, None, 0, 0, lba, false, t(base), t(base + 5));
+        let id = tr.open(0, 0, None, 0, 0, lba, false, t(base), t(base + 5));
         tr.rec(id, Stage::GateAdmit, t(base + 10));
         tr.rec(id, Stage::GateRelease, t(base + 15));
         tr.rec(id, Stage::MediaDone, t(base + 30));
@@ -516,7 +526,7 @@ mod tests {
     }
 
     fn full_chain(tr: &mut StageTrace, base: u64, stream: u16, seq: (u32, u32)) -> u32 {
-        let id = tr.open(stream, Some(seq), 0, 0, 8, false, t(base), t(base + 10));
+        let id = tr.open(0, stream, Some(seq), 0, 0, 8, false, t(base), t(base + 10));
         tr.rec(id, Stage::GateAdmit, t(base + 30));
         tr.gate_depth(id, 2);
         tr.rec(id, Stage::GateRelease, t(base + 40));
@@ -566,7 +576,7 @@ mod tests {
     #[test]
     fn unordered_chain_skips_pmr_and_delivers_at_completion() {
         let mut tr = StageTrace::new(&TraceConfig::default(), 1);
-        let id = tr.open(0, None, 0, 0, 16, false, t(0), t(5));
+        let id = tr.open(0, 0, None, 0, 0, 16, false, t(0), t(5));
         tr.rec(id, Stage::GateAdmit, t(20));
         tr.rec(id, Stage::GateRelease, t(25));
         tr.rec(id, Stage::MediaDone, t(60));
@@ -592,14 +602,14 @@ mod tests {
         assert_eq!((b.completed, b.aborted), (0, 1));
         assert_eq!(b.records[0].aborted_by, Some(3));
         // Delivery queue was cleared; a fresh epoch trace works.
-        let id = tr.open(0, Some((1, 1)), 0, 0, 8, false, t(10), t(20));
+        let id = tr.open(0, 0, Some((1, 1)), 0, 0, 8, false, t(10), t(20));
         assert_eq!(tr.slots[id as usize].epoch, 1);
     }
 
     #[test]
     fn retx_annotations_accumulate_per_round() {
         let mut tr = StageTrace::new(&TraceConfig::default(), 1);
-        let id = tr.open(0, None, 0, 0, 0, false, t(0), t(5));
+        let id = tr.open(0, 0, None, 0, 0, 0, false, t(0), t(5));
         tr.retx(id, 4);
         tr.retx(id, 2);
         tr.rec(id, Stage::GateAdmit, t(10));
@@ -627,10 +637,34 @@ mod tests {
     }
 
     #[test]
+    fn initiator_tag_survives_slot_recycling_across_initiators() {
+        // Two initiators interleave commands through the shared arena:
+        // slot ids get recycled, so the record identity must carry the
+        // initiator tag — a record keyed by arena id alone would
+        // attribute initiator 1's command to initiator 0.
+        let mut tr = StageTrace::new(&TraceConfig::default(), 4);
+        let a = run_unordered(&mut tr, 0, 7);
+        // Initiator 1, global stream 2, reuses initiator 0's slot.
+        let b = tr.open(1, 2, Some((1, 1)), 0, 0, 9, false, t(100), t(110));
+        assert_eq!(a, b, "slot recycled across initiators");
+        tr.rec(b, Stage::GateAdmit, t(130));
+        tr.rec(b, Stage::GateRelease, t(140));
+        tr.rec(b, Stage::PmrPersist, t(145));
+        tr.rec(b, Stage::MediaDone, t(190));
+        tr.rec(b, Stage::Complete, t(210));
+        tr.pending_push(2, 1, b);
+        tr.deliver(2, 1, t(220));
+        let out = tr.finish();
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.records[0].initiator, 0);
+        assert_eq!((out.records[1].initiator, out.records[1].stream), (1, 2));
+    }
+
+    #[test]
     fn slots_are_recycled() {
         let mut tr = StageTrace::new(&TraceConfig::default(), 1);
         let a = run_unordered(&mut tr, 0, 0);
-        let b = tr.open(0, None, 0, 0, 1, false, t(100), t(101));
+        let b = tr.open(0, 0, None, 0, 0, 1, false, t(100), t(101));
         assert_eq!(a, b, "freed slot reused");
         assert_eq!(tr.slots.len(), 1);
     }

@@ -6,7 +6,8 @@ use rio::sim::SimTime;
 use rio::ssd::SsdProfile;
 use rio::stack::crash::run_crash_recovery;
 use rio::stack::{
-    Cluster, ClusterConfig, FabricConfig, FaultPlan, OrderingMode, TraceConfig, Workload,
+    Cluster, ClusterConfig, FabricConfig, FaultPlan, InitiatorConfig, OrderingMode, TraceConfig,
+    Workload,
 };
 use rio::workloads::{MiniKv, Varmail};
 
@@ -170,6 +171,78 @@ fn run_metrics_snapshot_identical_with_crash_under_loss() {
     assert_eq!(a.epochs.len(), 2);
     assert!(a.recoveries[0].records_scanned > 0);
     assert!(a.finished_at > a.recoveries[0].resumed_at, "run resumed");
+}
+
+#[test]
+fn run_metrics_snapshot_identical_with_multi_initiator_crash_under_loss() {
+    // The multi-initiator counterpart of the crash-under-loss rail:
+    // three initiators (one tenant each, own sequencer / NIC /
+    // completer / stream slice) over two shared targets, 0.1% loss on
+    // two paths, and a mid-flight power failure of target 1. The same
+    // `(config, seed)` must reproduce the *entire* `RunMetrics` —
+    // per-initiator and per-tenant breakdowns included — and every
+    // tenant must come through the crash exactly-once.
+    let run = || {
+        let mut cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 3, 1, 2);
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+        Cluster::new(cfg, Workload::random_4k(3, 400)).run()
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "multi-initiator crash-under-loss replay diverged");
+    assert_eq!(a.groups_done, 1_200, "crash must not lose or double groups");
+    assert_eq!(a.recoveries.len(), 1);
+    assert_eq!(a.initiators.len(), 3);
+    assert_eq!(a.tenants.len(), 3);
+    for t in &a.tenants {
+        assert_eq!(t.groups_done, 400, "tenant {} not exactly-once", t.tenant);
+    }
+    assert!(a.tenant_fairness() >= 0.95, "equal weights must stay fair");
+}
+
+#[test]
+fn explicit_default_initiator_reproduces_legacy_snapshots() {
+    // The compatibility pin: `initiators: [default]` must be
+    // *byte-identical* to the legacy scalar-field path — same event
+    // interleaving (pinned to the pre-tenancy literals), same full
+    // `RunMetrics` — in every mode. A divergence here means the
+    // multi-initiator generalization changed single-initiator runs.
+    let expected = [
+        (OrderingMode::Orderless, 5_039u64),
+        (OrderingMode::LinuxNvmf, 1_443),
+        (OrderingMode::Horae, 10_784),
+        (OrderingMode::Rio { merge: true }, 5_061),
+    ];
+    for (mode, pinned_events) in expected {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let legacy = Cluster::new(small(mode.clone(), 3), Workload::random_4k(3, groups)).run();
+        let explicit = {
+            let mut cfg = small(mode.clone(), 3);
+            cfg.initiators = vec![InitiatorConfig {
+                cores: cfg.initiator_cores,
+                streams: cfg.streams,
+                tenant: 0,
+                weight: 1,
+            }];
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        assert_eq!(
+            legacy.events_processed,
+            pinned_events,
+            "{}: single-initiator event count moved off the snapshot",
+            mode.label()
+        );
+        assert_eq!(
+            legacy,
+            explicit,
+            "{}: explicit [default] initiator diverged from the legacy path",
+            mode.label()
+        );
+    }
 }
 
 #[test]
