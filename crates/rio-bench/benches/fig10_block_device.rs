@@ -9,9 +9,12 @@
 //! magnitude and Horae by 2.8x on average; on Optane by 9.4x and 3.3x;
 //! Rio's throughput and efficiency come close to orderless everywhere.
 
+use rio_bench::trace_export::{trace_out_arg, write_chrome_trace};
 use rio_bench::{all_modes, geomean, header, kiops, ratio, row, run};
 use rio_ssd::SsdProfile;
-use rio_stack::{ClusterConfig, OrderingMode, RunMetrics, TargetConfig, Workload};
+use rio_stack::{
+    ClusterConfig, OrderingMode, RunMetrics, TargetConfig, TelemetryConfig, TraceConfig, Workload,
+};
 
 const THREADS: [usize; 4] = [2, 4, 8, 12];
 
@@ -130,6 +133,19 @@ fn part(part_id: char, title: &str) {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = trace_out_arg(&args) {
+        // One representative traced run (RIO on Optane, part b) instead
+        // of the whole sweep: the Chrome trace is per-command, so a
+        // single cell is already thousands of spans.
+        let mut cfg = config('b', OrderingMode::Rio { merge: true }, 2);
+        cfg.trace = Some(TraceConfig::default());
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = run(cfg, Workload::random_4k(2, 2_000));
+        write_chrome_trace(&path, &m).expect("write Chrome trace");
+        println!("wrote Chrome trace of fig10(b) RIO t=2 to {path}");
+        return;
+    }
     println!("Reproduction of paper Figure 10 (block device performance).");
     part('a', "1 flash SSD, 1 target");
     part('b', "1 Optane SSD, 1 target");

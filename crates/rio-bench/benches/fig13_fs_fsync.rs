@@ -8,9 +8,10 @@
 //! Paper: RioFS lifts throughput 3.0x / 1.2x over Ext4 / HoraeFS,
 //! cuts average latency 67% / 18%, and p99 by 50% / 20%.
 
+use rio_bench::trace_export::{trace_out_arg, write_chrome_trace};
 use rio_bench::{header, kiops, row, run, us};
 use rio_ssd::SsdProfile;
-use rio_stack::{ClusterConfig, OrderingMode, Workload};
+use rio_stack::{ClusterConfig, OrderingMode, TelemetryConfig, TraceConfig, Workload};
 
 const THREADS: [usize; 6] = [1, 2, 4, 8, 12, 16];
 
@@ -24,6 +25,17 @@ fn fs_label(mode: &OrderingMode) -> &'static str {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = trace_out_arg(&args) {
+        let mut cfg =
+            ClusterConfig::single_ssd(OrderingMode::Rio { merge: true }, SsdProfile::optane905p(), 4);
+        cfg.trace = Some(TraceConfig::default());
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = run(cfg, Workload::fsync_append(4, 500));
+        write_chrome_trace(&path, &m).expect("write Chrome trace");
+        println!("wrote Chrome trace of fig13 RIOFS t=4 to {path}");
+        return;
+    }
     println!("Reproduction of paper Figure 13 (file system fsync).");
     println!("Paper: RioFS saturates the Optane SSD with fewer cores, with");
     println!("3.0x/1.2x the throughput of Ext4/HoraeFS and lower tails.");

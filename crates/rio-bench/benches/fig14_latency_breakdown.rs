@@ -19,11 +19,13 @@
 //! in-order delivery) with deterministic p50/p99/p999 per stage — for
 //! three fabrics: lossless, 1% loss, and a survivable crash mid-run.
 
+use rio_bench::trace_export::{trace_out_arg, write_chrome_trace};
 use rio_bench::{header, row, run};
 use rio_sim::SimTime;
 use rio_ssd::SsdProfile;
 use rio_stack::{
-    ClusterConfig, FabricConfig, FaultPlan, LatencyBreakdown, OrderingMode, TraceConfig, Workload,
+    ClusterConfig, FabricConfig, FaultPlan, LatencyBreakdown, OrderingMode, TelemetryConfig,
+    TraceConfig, Workload,
 };
 
 fn paper_table() {
@@ -104,6 +106,15 @@ fn stage_table(b: &LatencyBreakdown) {
         "{:>16} completed={} aborted={} retx pkts={} completer held peak={}",
         "", b.completed, b.aborted, b.retx_pkts, b.completer_held_peak
     );
+    // A truncated trace must be visible: the ring keeps the newest
+    // closed records and silently dropping the rest would skew the
+    // span view in ways the quantiles above do not show.
+    println!(
+        "{:>16} trace ring: {} record(s) kept, {} evicted",
+        "",
+        b.records.len(),
+        b.records_dropped
+    );
 }
 
 fn traced_config(loss: f64, crash: bool) -> ClusterConfig {
@@ -133,6 +144,17 @@ fn traced_config(loss: f64, crash: bool) -> ClusterConfig {
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = trace_out_arg(&args) {
+        // The crash-mid-run cell: spans, retransmits, the recovery
+        // band and the watchdog's stall windows all in one trace.
+        let mut cfg = traced_config(1e-3, true);
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = run(cfg, Workload::random_4k(3, 2_000));
+        write_chrome_trace(&path, &m).expect("write Chrome trace");
+        println!("wrote Chrome trace of the crash-mid-run stage breakdown to {path}");
+        return;
+    }
     println!("Reproduction of paper Figure 14 (fsync latency breakdown, ns).");
     paper_table();
 

@@ -156,6 +156,7 @@ fn crash_cfg(mode: OrderingMode, corrupt: f64, ssd: fn() -> SsdProfile) -> Clust
         integrity: true,
         faults: Default::default(),
         trace: None,
+        telemetry: None,
         initiators: Vec::new(),
     };
     cfg.net.corrupt_rate = corrupt;

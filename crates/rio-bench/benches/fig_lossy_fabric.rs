@@ -22,9 +22,12 @@
 //! cargo bench -p rio-bench --bench fig_lossy_fabric -- --smoke # CI-sized
 //! ```
 
+use rio_bench::trace_export::{trace_out_arg, write_chrome_trace};
 use rio_bench::{all_modes, header, kiops, row, run};
 use rio_ssd::SsdProfile;
-use rio_stack::{ClusterConfig, FabricConfig, OrderingMode, RunMetrics, Workload};
+use rio_stack::{
+    ClusterConfig, FabricConfig, OrderingMode, RunMetrics, TelemetryConfig, TraceConfig, Workload,
+};
 
 const THREADS: usize = 4;
 
@@ -113,7 +116,19 @@ fn sweep(smoke: bool) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = trace_out_arg(&args) {
+        // The interesting cell: RIO under real loss, where retransmit
+        // spans and gate stalls show up in the trace.
+        let mut cfg = config(OrderingMode::Rio { merge: true }, 1e-3, 2);
+        cfg.trace = Some(TraceConfig::default());
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = run(cfg, Workload::random_4k(THREADS, 2_000));
+        write_chrome_trace(&path, &m).expect("write Chrome trace");
+        println!("wrote Chrome trace of lossy-fabric RIO loss=1e-3 paths=2 to {path}");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     println!(
         "Lossy multi-path fabric sweep ({} run).",
         if smoke { "smoke" } else { "full" }

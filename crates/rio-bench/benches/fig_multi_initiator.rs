@@ -19,8 +19,11 @@
 //! cargo bench -p rio-bench --bench fig_multi_initiator -- --smoke # CI-sized
 //! ```
 
+use rio_bench::trace_export::{trace_out_arg, write_chrome_trace};
 use rio_bench::{header, kiops, row, run, us};
-use rio_stack::{ClusterConfig, FabricConfig, OrderingMode, RunMetrics, Workload};
+use rio_stack::{
+    ClusterConfig, FabricConfig, OrderingMode, RunMetrics, TelemetryConfig, TraceConfig, Workload,
+};
 
 fn multi(initiators: usize, streams_each: usize, targets: usize, groups: u64) -> RunMetrics {
     let mut cfg = ClusterConfig::multi_initiator(
@@ -124,7 +127,21 @@ fn weight_sweep(smoke: bool) {
 }
 
 fn main() {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(path) = trace_out_arg(&args) {
+        // Three initiators incast onto two shared targets over a lossy
+        // fabric — the trace shows per-tenant lanes plus DRR waits.
+        let mut cfg =
+            ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 3, 1, 2);
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.trace = Some(TraceConfig::default());
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = run(cfg, Workload::random_4k(3, 400));
+        write_chrome_trace(&path, &m).expect("write Chrome trace");
+        println!("wrote Chrome trace of multi-initiator RIO 3x2 to {path}");
+        return;
+    }
+    let smoke = args.iter().any(|a| a == "--smoke");
     println!(
         "Multi-initiator / multi-tenant sweep ({} run).",
         if smoke { "smoke" } else { "full" }

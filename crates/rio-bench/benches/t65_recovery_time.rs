@@ -63,6 +63,7 @@ fn paper_cfg(seed: u64, threads: usize) -> ClusterConfig {
         integrity: false,
         faults: Default::default(),
         trace: None,
+        telemetry: None,
         initiators: Vec::new(),
     }
 }
@@ -153,6 +154,7 @@ fn sweep_cfg(mode: OrderingMode, loss: f64, threads: usize) -> ClusterConfig {
         integrity: false,
         faults: Default::default(),
         trace: None,
+        telemetry: None,
         initiators: Vec::new(),
     };
     cfg.net.migrate_every = 64;

@@ -1,11 +1,12 @@
-//! Performance-regression gate over `BENCH_sim.json` and
-//! `BENCH_recovery.json`.
+//! Performance-regression gate over `BENCH_sim.json`,
+//! `BENCH_recovery.json` and `BENCH_fig.json`.
 //!
 //! Loads the committed baselines and compares them against current
 //! measurements, failing (exit 1) on a >10% events/s drop or a >15%
-//! deterministic group-p99 rise in any engine cell, or a >15% rise in
-//! either virtual-time phase of any recovery-trajectory cell, with a
-//! per-cell report. Malformed or wrong-schema files exit 2.
+//! deterministic group-p99 rise in any engine cell, a >15% rise in
+//! either virtual-time phase of any recovery-trajectory cell, or a
+//! >10% drop in any figure-trajectory cell's deterministic KIOPS, with
+//! a per-cell report. Malformed or wrong-schema files exit 2.
 //!
 //! Usage:
 //!
@@ -16,8 +17,13 @@
 //! bench_gate --baseline other.json   # compare against another baseline
 //! bench_gate --recovery other.json   # recovery trajectory baseline
 //! bench_gate --no-recovery           # skip the recovery trajectory
+//! bench_gate --fig other.json        # figure trajectory baseline
+//! bench_gate --fig-current run.json  # ingest a figure measurement
+//! bench_gate --no-fig                # skip the figure trajectory
+//! bench_gate --write-fig out.json    # regenerate the figure baseline
 //! ```
 
+use rio_bench::fig::{compare_fig, parse_fig, render_fig_json, trajectory as fig_trajectory};
 use rio_bench::gate::{compare, parse, GateOutcome};
 use rio_bench::recovery::{compare_recovery, parse_recovery, trajectory};
 use rio_bench::sweep::{calibrate, run_spec, smoke_subset, specs, Cell};
@@ -29,6 +35,10 @@ fn default_baseline() -> String {
 
 fn default_recovery_baseline() -> String {
     format!("{}/../../BENCH_recovery.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+fn default_fig_baseline() -> String {
+    format!("{}/../../BENCH_fig.json", env!("CARGO_MANIFEST_DIR"))
 }
 
 /// Gates the deterministic §6.5 recovery-time trajectory. Returns the
@@ -72,6 +82,69 @@ fn recovery_gate(baseline_path: &str) -> i32 {
     }
 }
 
+/// Gates the deterministic per-figure KIOPS trajectory. `current_path`
+/// ingests a rendered figure file instead of re-running the sweeps.
+/// Returns the exit code contribution: 0 pass, 1 regression, 2
+/// malformed baseline or current file.
+fn fig_gate(baseline_path: &str, current_path: Option<&str>) -> i32 {
+    let text = match std::fs::read_to_string(baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!(
+                "bench_gate: cannot read figure baseline {baseline_path}: {e}\n\
+                 (generate it with `cargo run --release -p rio-bench --bin bench_gate -- \
+                 --write-fig BENCH_fig.json`, or pass --no-fig)"
+            );
+            return 2;
+        }
+    };
+    let baseline = match parse_fig(&text) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("bench_gate: figure baseline {baseline_path}: {e}");
+            return 2;
+        }
+    };
+    let current = match current_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("bench_gate: cannot read figure current {path}: {e}");
+                    return 2;
+                }
+            };
+            match parse_fig(&text) {
+                Ok(f) => f.cells,
+                Err(e) => {
+                    eprintln!("bench_gate: figure current {path}: {e}");
+                    return 2;
+                }
+            }
+        }
+        None => {
+            println!(
+                "bench_gate: re-running the {}-cell figure trajectory (virtual time, \
+                 no machine factor)",
+                baseline.cells.len()
+            );
+            fig_trajectory()
+        }
+    };
+    let out = compare_fig(&baseline.cells, &current);
+    report(&out);
+    if out.failed() {
+        println!("bench_gate: FAIL — figure KIOPS regressed beyond tolerance");
+        1
+    } else {
+        println!(
+            "bench_gate: figures PASS ({} cells compared)",
+            out.verdicts.len()
+        );
+        0
+    }
+}
+
 fn load(path: &str, role: &str) -> Result<rio_bench::gate::BenchFile, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {role} {path}: {e}"))?;
@@ -108,6 +181,20 @@ fn real_main() -> i32 {
             .and_then(|i| args.get(i + 1).cloned())
     };
     let smoke = args.iter().any(|a| a == "--smoke");
+
+    // Regeneration mode: run the figure trajectory, write the baseline,
+    // and stop — nothing is gated.
+    if let Some(path) = flag_val("--write-fig") {
+        let cells = fig_trajectory();
+        let doc = render_fig_json(&cells);
+        if let Err(e) = std::fs::write(&path, &doc) {
+            eprintln!("bench_gate: cannot write figure baseline {path}: {e}");
+            return 2;
+        }
+        println!("bench_gate: wrote {} figure cell(s) to {path}", cells.len());
+        return 0;
+    }
+
     let baseline_path = flag_val("--baseline").unwrap_or_else(default_baseline);
     let current_path = flag_val("--current");
 
@@ -264,6 +351,25 @@ fn real_main() -> i32 {
         }
     }
     report(&out);
+    // The simulation is deterministic, so any event-count drift means
+    // the engine's behavior changed — name every drifted cell with its
+    // expected and measured counts so the change is attributable.
+    let drifted: Vec<&rio_bench::gate::CellVerdict> = out
+        .verdicts
+        .iter()
+        .filter(|v| v.notes.iter().any(|n| n.contains("event-count drift")))
+        .collect();
+    if !drifted.is_empty() {
+        println!(
+            "bench_gate: WARNING — deterministic event counts drifted in {} cell(s):",
+            drifted.len()
+        );
+        for v in &drifted {
+            for n in v.notes.iter().filter(|n| n.contains("event-count drift")) {
+                println!("  {}: {n}", v.key);
+            }
+        }
+    }
     let engine_code = if out.failed() {
         println!("bench_gate: FAIL — performance regressed beyond tolerance");
         1
@@ -282,7 +388,19 @@ fn real_main() -> i32 {
         let path = flag_val("--recovery").unwrap_or_else(default_recovery_baseline);
         recovery_gate(&path)
     };
-    engine_code.max(recovery_code)
+
+    // The figure trajectory likewise rides along on live re-runs, and
+    // additionally gates an ingested --fig-current file on demand (the
+    // golden tests doctor one without re-running any sweep).
+    let fig_current = flag_val("--fig-current");
+    let fig_code = if args.iter().any(|a| a == "--no-fig") || (fig_current.is_none() && !rerunning)
+    {
+        0
+    } else {
+        let path = flag_val("--fig").unwrap_or_else(default_fig_baseline);
+        fig_gate(&path, fig_current.as_deref())
+    };
+    engine_code.max(recovery_code).max(fig_code)
 }
 
 fn main() {

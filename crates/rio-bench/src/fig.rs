@@ -1,0 +1,395 @@
+//! The `BENCH_fig.json` per-figure throughput regression gate.
+//!
+//! The figure benches (fig10, fig13, the lossy-fabric and
+//! multi-initiator sweeps) are pure virtual time: `(config, seed)`
+//! fixes every cell's KIOPS exactly, so like the recovery gate there
+//! is no machine factor and no retry logic. The trajectory runs a
+//! smoke-sized slice of each figure and the gate fails on a >10% drop
+//! in any cell's delivered KIOPS; rises (improvements) and
+//! sub-threshold drift only warn, flagging that the baseline should be
+//! regenerated deliberately.
+//!
+//! Regenerate with:
+//!
+//! ```sh
+//! cargo run --release -p rio-bench --bin bench_gate -- --write-fig BENCH_fig.json
+//! ```
+
+use std::fmt::Write;
+
+use rio_ssd::SsdProfile;
+use rio_stack::{ClusterConfig, FabricConfig, OrderingMode, Workload};
+
+use crate::gate::{lookup, object_pairs, parse_f64, parse_u64, parse_usize};
+use crate::gate::{CellVerdict, GateOutcome};
+use crate::{all_modes, run};
+
+/// Schema version of `BENCH_fig.json`.
+pub const FIG_SCHEMA: u64 = 1;
+
+/// Maximum tolerated drop in any cell's deterministic KIOPS.
+pub const MAX_FIG_DROP: f64 = 0.10;
+
+/// One measured figure cell in the trajectory.
+#[derive(Debug, Clone)]
+pub struct FigCell {
+    /// Which figure sweep the cell belongs to (`fig10a`, `fig13`, ...).
+    pub figure: String,
+    /// Ordering-mode label (`Linux`, `HORAE`, `RIO`, `orderless`).
+    pub mode: String,
+    /// Submitting threads (streams across all initiators).
+    pub threads: usize,
+    /// Initiator machines.
+    pub initiators: usize,
+    /// Target machines.
+    pub targets: usize,
+    /// Per-packet fabric loss probability.
+    pub loss: f64,
+    /// Fabric paths per initiator-target pair.
+    pub paths: usize,
+    /// Delivered KIOPS (block KIOPS, or op KIOPS for the fsync figure).
+    pub kiops: f64,
+    /// Ordered groups delivered, pinning the workload size.
+    pub groups: u64,
+}
+
+impl FigCell {
+    /// Stable comparison key (loss scaled to ppm so it hashes exactly).
+    pub fn key(&self) -> (&str, &str, usize, usize, usize, u64, usize) {
+        (
+            &self.figure,
+            &self.mode,
+            self.threads,
+            self.initiators,
+            self.targets,
+            (self.loss * 1e6).round() as u64,
+            self.paths,
+        )
+    }
+
+    /// Human-readable identity.
+    pub fn key_label(&self) -> String {
+        format!(
+            "{} {} t={} init={} tgt={} loss={} paths={}",
+            self.figure, self.mode, self.threads, self.initiators, self.targets, self.loss,
+            self.paths
+        )
+    }
+}
+
+/// A parsed `BENCH_fig.json` document.
+#[derive(Debug, Clone)]
+pub struct FigFile {
+    /// Schema version (always [`FIG_SCHEMA`]).
+    pub schema: u64,
+    /// The measured cells.
+    pub cells: Vec<FigCell>,
+}
+
+fn fig10_cfg(part: char, mode: OrderingMode, streams: usize) -> ClusterConfig {
+    match part {
+        'a' => ClusterConfig::single_ssd(mode, SsdProfile::pm981(), streams),
+        'b' => ClusterConfig::single_ssd(mode, SsdProfile::optane905p(), streams),
+        'd' => ClusterConfig::four_ssd_two_targets(mode, streams),
+        _ => unreachable!("trajectory only samples fig10 parts a/b/d"),
+    }
+}
+
+/// Runs the deterministic figure trajectory: a smoke-sized slice of
+/// fig10 (block device, parts a/b/d), fig13 (fsync append), the lossy
+/// fabric sweep and the multi-initiator incast, every cell pinned by
+/// `(config, seed)` to an exact KIOPS value.
+pub fn trajectory() -> Vec<FigCell> {
+    let mut cells = Vec::new();
+
+    // Figure 10 slice: every mode on flash, Optane, and the four-SSD
+    // two-target topology at two threads.
+    for part in ['a', 'b', 'd'] {
+        for mode in all_modes() {
+            let threads = 2;
+            let groups: u64 = match mode {
+                OrderingMode::LinuxNvmf => 300,
+                _ => 3_000,
+            };
+            let cfg = fig10_cfg(part, mode.clone(), threads);
+            let targets = cfg.targets.len();
+            let m = run(cfg, Workload::random_4k(threads, groups));
+            cells.push(FigCell {
+                figure: format!("fig10{part}"),
+                mode: mode.label().to_string(),
+                threads,
+                initiators: 1,
+                targets,
+                loss: 0.0,
+                paths: 1,
+                kiops: m.block_iops() / 1e3,
+                groups: m.groups_done,
+            });
+        }
+    }
+
+    // Figure 13 slice: fsync-append op rate on Optane for the three
+    // filesystem modes across the thread axis.
+    for mode in [
+        OrderingMode::LinuxNvmf,
+        OrderingMode::Horae,
+        OrderingMode::Rio { merge: true },
+    ] {
+        for threads in [1usize, 4, 16] {
+            let ops: u64 = match mode {
+                OrderingMode::LinuxNvmf => 60,
+                _ => 300,
+            };
+            let cfg = ClusterConfig::single_ssd(mode.clone(), SsdProfile::optane905p(), threads);
+            let m = run(cfg, Workload::fsync_append(threads, ops));
+            cells.push(FigCell {
+                figure: "fig13".to_string(),
+                mode: mode.label().to_string(),
+                threads,
+                initiators: 1,
+                targets: 1,
+                loss: 0.0,
+                paths: 1,
+                kiops: m.op_iops() / 1e3,
+                groups: m.groups_done,
+            });
+        }
+    }
+
+    // Lossy-fabric slice: every mode under two loss rates on two
+    // paths, with the deep asynchronous window the sweep uses.
+    for mode in all_modes() {
+        for loss in [1e-3f64, 1e-2] {
+            let threads = 4;
+            let groups: u64 = match mode {
+                OrderingMode::LinuxNvmf => 60,
+                _ => 2_000,
+            };
+            let mut cfg =
+                ClusterConfig::single_ssd(mode.clone(), SsdProfile::optane905p(), threads);
+            cfg.max_inflight_per_stream = 64;
+            cfg.net = FabricConfig::lossy(loss, 2);
+            let m = run(cfg, Workload::random_4k(threads, groups));
+            cells.push(FigCell {
+                figure: "fig_lossy".to_string(),
+                mode: mode.label().to_string(),
+                threads,
+                initiators: 1,
+                targets: 1,
+                loss,
+                paths: 2,
+                kiops: m.block_iops() / 1e3,
+                groups: m.groups_done,
+            });
+        }
+    }
+
+    // Multi-initiator slice: RIO incast onto two shared targets over
+    // a lossy two-path fabric.
+    for initiators in [2usize, 4] {
+        let mut cfg = ClusterConfig::multi_initiator(
+            OrderingMode::Rio { merge: true },
+            initiators,
+            1,
+            2,
+        );
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        let m = run(cfg, Workload::random_4k(initiators, 400));
+        cells.push(FigCell {
+            figure: "fig_multi".to_string(),
+            mode: "RIO".to_string(),
+            threads: initiators,
+            initiators,
+            targets: 2,
+            loss: 1e-3,
+            paths: 2,
+            kiops: m.block_iops() / 1e3,
+            groups: m.groups_done,
+        });
+    }
+
+    cells
+}
+
+/// Renders the cells as the `BENCH_fig.json` document.
+pub fn render_fig_json(cells: &[FigCell]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": {FIG_SCHEMA},");
+    let _ = writeln!(out, "  \"harness\": \"fig_trajectory\",");
+    out.push_str("  \"figures\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"figure\": \"{}\", \"mode\": \"{}\", \"threads\": {}, \
+             \"initiators\": {}, \"targets\": {}, \"loss\": {:.6}, \"paths\": {}, \
+             \"kiops\": {:.6}, \"groups\": {}}}",
+            c.figure, c.mode, c.threads, c.initiators, c.targets, c.loss, c.paths, c.kiops,
+            c.groups,
+        );
+        out.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a `BENCH_fig.json` document, rejecting unknown schemas.
+pub fn parse_fig(json: &str) -> Result<FigFile, String> {
+    let (head, figures) = json
+        .split_once("\"figures\"")
+        .ok_or("no \"figures\" array in document")?;
+    let head_pairs = object_pairs(head);
+    let schema = parse_u64(&head_pairs, "schema", "document header")?;
+    if schema != FIG_SCHEMA {
+        return Err(format!(
+            "schema mismatch: file has schema {schema}, this gate reads schema \
+             {FIG_SCHEMA} (regenerate with `cargo run --release -p rio-bench --bin \
+             bench_gate -- --write-fig BENCH_fig.json`)"
+        ));
+    }
+    let figures = figures
+        .trim_start()
+        .strip_prefix(':')
+        .ok_or("malformed \"figures\" array")?
+        .trim_start()
+        .strip_prefix('[')
+        .ok_or("malformed \"figures\" array")?;
+    let mut cells = Vec::new();
+    let mut rest = figures;
+    while let Some(open) = rest.find('{') {
+        let close = rest[open..]
+            .find('}')
+            .ok_or("unterminated cell object in \"figures\"")?;
+        let body = &rest[open + 1..open + close];
+        let pairs = object_pairs(body);
+        let ctx = format!("figure cell {}", cells.len());
+        cells.push(FigCell {
+            figure: lookup(&pairs, "figure", &ctx)?.to_string(),
+            mode: lookup(&pairs, "mode", &ctx)?.to_string(),
+            threads: parse_usize(&pairs, "threads", &ctx)?,
+            initiators: parse_usize(&pairs, "initiators", &ctx)?,
+            targets: parse_usize(&pairs, "targets", &ctx)?,
+            loss: parse_f64(&pairs, "loss", &ctx)?,
+            paths: parse_usize(&pairs, "paths", &ctx)?,
+            kiops: parse_f64(&pairs, "kiops", &ctx)?,
+            groups: parse_u64(&pairs, "groups", &ctx)?,
+        });
+        rest = &rest[open + close + 1..];
+    }
+    if cells.is_empty() {
+        return Err("no cells in \"figures\"".to_string());
+    }
+    Ok(FigFile { schema, cells })
+}
+
+/// Compares current figure cells against the baseline. The figures are
+/// deterministic virtual time: every baseline cell must be covered,
+/// and a >[`MAX_FIG_DROP`] KIOPS drop fails.
+pub fn compare_fig(baseline: &[FigCell], current: &[FigCell]) -> GateOutcome {
+    let mut out = GateOutcome::default();
+    for base in baseline {
+        let Some(cur) = current.iter().find(|c| c.key() == base.key()) else {
+            out.uncovered.push(base.key_label());
+            out.verdicts.push(CellVerdict {
+                key: base.key_label(),
+                failures: vec!["cell missing from current trajectory".to_string()],
+                notes: Vec::new(),
+            });
+            continue;
+        };
+        let mut v = CellVerdict {
+            key: base.key_label(),
+            failures: Vec::new(),
+            notes: Vec::new(),
+        };
+        if base.kiops > 0.0 && cur.kiops < base.kiops * (1.0 - MAX_FIG_DROP) {
+            v.failures.push(format!(
+                "kiops regression: {:.3} vs baseline {:.3} ({:+.1}%, tolerance -{:.0}%)",
+                cur.kiops,
+                base.kiops,
+                (cur.kiops / base.kiops - 1.0) * 100.0,
+                MAX_FIG_DROP * 100.0
+            ));
+        } else if (cur.kiops - base.kiops).abs() > 1e-6 {
+            v.notes.push(format!(
+                "kiops drift: {:.3} vs baseline {:.3} — the figures are deterministic; \
+                 regenerate the baseline deliberately",
+                cur.kiops, base.kiops
+            ));
+        }
+        if cur.groups != base.groups {
+            v.notes.push(format!(
+                "workload drift: {} groups vs baseline {}",
+                cur.groups, base.groups
+            ));
+        }
+        out.verdicts.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(figure: &str, mode: &str, kiops: f64) -> FigCell {
+        FigCell {
+            figure: figure.into(),
+            mode: mode.into(),
+            threads: 2,
+            initiators: 1,
+            targets: 1,
+            loss: 0.001,
+            paths: 2,
+            kiops,
+            groups: 3_000,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let cells = vec![cell("fig10a", "RIO", 512.125), cell("fig13", "Linux", 1.5)];
+        let parsed = parse_fig(&render_fig_json(&cells)).expect("parse");
+        assert_eq!(parsed.schema, FIG_SCHEMA);
+        assert_eq!(parsed.cells.len(), 2);
+        assert_eq!(parsed.cells[0].figure, "fig10a");
+        assert_eq!(parsed.cells[1].mode, "Linux");
+        assert!((parsed.cells[0].kiops - 512.125).abs() < 1e-9);
+        assert!((parsed.cells[0].loss - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_schema_is_rejected_with_guidance() {
+        let err = parse_fig("{\n \"schema\": 99,\n \"figures\": [\n{}\n]\n}")
+            .expect_err("unknown schema must be rejected");
+        assert!(err.contains("schema mismatch"), "{err}");
+        assert!(err.contains("regenerate"), "{err}");
+    }
+
+    #[test]
+    fn gate_fails_only_beyond_the_drop_tolerance() {
+        let base = vec![cell("fig10a", "RIO", 500.0)];
+        // 8% slower: tolerated, but noted as drift.
+        let ok = vec![cell("fig10a", "RIO", 460.0)];
+        let out = compare_fig(&base, &ok);
+        assert!(!out.failed());
+        assert!(out.verdicts[0].notes[0].contains("drift"));
+        // 20% slower: fails.
+        let slow = vec![cell("fig10a", "RIO", 400.0)];
+        let out = compare_fig(&base, &slow);
+        assert!(out.failed());
+        assert!(out.verdicts[0].failures[0].contains("kiops regression"));
+        // Faster: an improvement passes (with a drift note).
+        let better = vec![cell("fig10a", "RIO", 600.0)];
+        assert!(!compare_fig(&base, &better).failed());
+    }
+
+    #[test]
+    fn missing_cells_always_fail() {
+        let base = vec![cell("fig10a", "RIO", 500.0), cell("fig13", "Linux", 2.0)];
+        let partial = vec![cell("fig10a", "RIO", 500.0)];
+        let out = compare_fig(&base, &partial);
+        assert!(out.failed());
+        assert_eq!(out.uncovered.len(), 1);
+    }
+}

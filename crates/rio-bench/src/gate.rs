@@ -253,9 +253,9 @@ pub fn compare(
         }
         if cur.events != base.events {
             v.notes.push(format!(
-                "event-count drift: {} vs baseline {} — engine behavior changed; \
-                 regenerate the baseline deliberately",
-                cur.events, base.events
+                "event-count drift: expected {} events, measured {} — engine behavior \
+                 changed; regenerate the baseline deliberately",
+                base.events, cur.events
             ));
         }
         out.verdicts.push(v);

@@ -8,9 +8,11 @@
 
 use rio_stack::{Cluster, ClusterConfig, OrderingMode, RunMetrics, Workload};
 
+pub mod fig;
 pub mod gate;
 pub mod recovery;
 pub mod sweep;
+pub mod trace_export;
 
 /// Standard mode list in paper legend order.
 pub fn all_modes() -> Vec<OrderingMode> {

@@ -102,6 +102,7 @@ fn trial_cfg(seed: u64, threads: usize) -> ClusterConfig {
         integrity: false,
         faults: Default::default(),
         trace: None,
+        telemetry: None,
         initiators: Vec::new(),
     }
 }

@@ -1,0 +1,384 @@
+//! Chrome `trace_event` JSON export: renders a run's `StageTrace`
+//! closed-record ring as duration spans and its telemetry series as
+//! counter tracks, loadable in Perfetto or `chrome://tracing`.
+//!
+//! The format is the Trace Event Format's JSON-object flavor:
+//! `{"traceEvents": [...]}` where each event carries `ph` (phase),
+//! `ts`/`dur` in microseconds, and `pid`/`tid` lanes. Spans (`"X"`)
+//! come from consecutive reached stages of each traced command —
+//! one span per [`LatencyBreakdown::SEGMENT_LABELS`] segment — laid
+//! out with the initiator as the process and the stream as the
+//! thread. Counters (`"C"`) come from the telemetry buckets. Stall
+//! windows and crash/recovery spans render on a dedicated watchdog
+//! process so they are visible as a band across the timeline. When
+//! the trace ring evicted records, a metadata event (`"M"`) reports
+//! the eviction count so a truncated view is never mistaken for the
+//! whole run.
+//!
+//! Everything is hand-rolled `core::fmt` — the workspace vendors no
+//! JSON dependency — and [`validate_json`] provides the structural
+//! well-formedness check CI and the example run on the output.
+
+use std::fmt::Write as _;
+
+use rio_stack::trace::STAGES;
+use rio_stack::{LatencyBreakdown, RunMetrics, Telemetry};
+
+/// The `pid` lane used for watchdog annotations (stall windows and
+/// recovery spans), far away from real initiator indices.
+pub const WATCHDOG_PID: u32 = 999;
+
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1_000.0
+}
+
+fn push_event(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push_str(",\n");
+    }
+}
+
+/// Renders `m` as a Chrome `trace_event` JSON document.
+pub fn chrome_trace(m: &RunMetrics) -> String {
+    let mut out = String::with_capacity(64 * 1024);
+    out.push_str("{\n\"displayTimeUnit\": \"ns\",\n\"traceEvents\": [\n");
+    let mut first = true;
+    if let Some(b) = &m.breakdown {
+        render_spans(&mut out, &mut first, b);
+    }
+    if let Some(t) = &m.telemetry {
+        render_counters(&mut out, &mut first, t);
+        render_watchdog(&mut out, &mut first, t);
+    }
+    out.push_str("\n]\n}\n");
+    out
+}
+
+fn render_spans(out: &mut String, first: &mut bool, b: &LatencyBreakdown) {
+    for r in &b.records {
+        let mut prev: Option<u64> = r.stages[0].map(|t| t.as_nanos());
+        for i in 1..STAGES {
+            let Some(t) = r.stages[i] else { continue };
+            let t = t.as_nanos();
+            if let Some(p) = prev {
+                push_event(out, first);
+                let _ = write!(
+                    out,
+                    "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+                     \"pid\": {}, \"tid\": {}, \"args\": {{\"seq_start\": {}, \"seq_end\": {}, \
+                     \"server\": {}, \"ssd\": {}, \"lba\": {}, \"epoch\": {}, \
+                     \"retx_pkts\": {}, \"gate_depth\": {}}}}}",
+                    LatencyBreakdown::SEGMENT_LABELS[i - 1],
+                    us(p),
+                    us(t.saturating_sub(p)),
+                    r.initiator,
+                    r.stream,
+                    r.seq_start,
+                    r.seq_end,
+                    r.server,
+                    r.ssd,
+                    r.lba,
+                    r.epoch,
+                    r.retx_pkts,
+                    r.gate_depth,
+                );
+            }
+            prev = Some(t);
+        }
+        if let Some(fault) = r.aborted_by {
+            // Mark where the crash killed the command.
+            let at = prev.unwrap_or(0);
+            push_event(out, first);
+            let _ = write!(
+                out,
+                "{{\"name\": \"aborted\", \"ph\": \"i\", \"ts\": {:.3}, \"s\": \"t\", \
+                 \"pid\": {}, \"tid\": {}, \"args\": {{\"fault\": {}}}}}",
+                us(at),
+                r.initiator,
+                r.stream,
+                fault,
+            );
+        }
+    }
+    if b.records_dropped > 0 {
+        // The ring evicted closed records: the spans above are the
+        // *most recent* window of the run, not all of it.
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"stage_trace_ring\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {{\"records_dropped\": {}, \"records_kept\": {}}}}}",
+            b.records_dropped,
+            b.records.len(),
+        );
+    }
+}
+
+fn render_counters(out: &mut String, first: &mut bool, t: &Telemetry) {
+    for (i, b) in t.buckets.iter().enumerate() {
+        let ts = us(t.bucket_start(i).as_nanos());
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"delivered KIOPS\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \
+             \"args\": {{\"kiops\": {:.3}}}}}",
+            t.delivered_kiops(i),
+        );
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"inflight cmds\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \
+             \"args\": {{\"cmds\": {}}}}}",
+            b.inflight_peak,
+        );
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"pending groups\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \
+             \"args\": {{\"groups\": {}}}}}",
+            b.pending_end,
+        );
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"gate occupancy\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \
+             \"args\": {{\"fragments\": {}}}}}",
+            b.gate_peak,
+        );
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"completer pending\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \
+             \"args\": {{\"groups\": {}}}}}",
+            b.completer_peak,
+        );
+        push_event(out, first);
+        let _ = write!(out, "{{\"name\": \"ssd queue\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \"args\": {{");
+        for (j, q) in b.ssd_queue_peak.iter().enumerate() {
+            let _ = write!(out, "{}\"t{j}\": {q}", if j > 0 { ", " } else { "" });
+        }
+        out.push_str("}}");
+        push_event(out, first);
+        let _ = write!(out, "{{\"name\": \"retx pkts\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \"args\": {{");
+        for (j, p) in b.retx_pkts.iter().enumerate() {
+            let _ = write!(out, "{}\"nic{j}\": {p}", if j > 0 { ", " } else { "" });
+        }
+        out.push_str("}}");
+        push_event(out, first);
+        let _ = write!(out, "{{\"name\": \"corrupt pkts\", \"ph\": \"C\", \"ts\": {ts:.3}, \"pid\": 0, \"args\": {{");
+        for (j, p) in b.corrupt_pkts.iter().enumerate() {
+            let _ = write!(out, "{}\"nic{j}\": {p}", if j > 0 { ", " } else { "" });
+        }
+        out.push_str("}}");
+    }
+    if t.clamped > 0 {
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"telemetry_buckets\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+             \"args\": {{\"clamped_samples\": {}}}}}",
+            t.clamped,
+        );
+    }
+}
+
+fn render_watchdog(out: &mut String, first: &mut bool, t: &Telemetry) {
+    push_event(out, first);
+    let _ = write!(
+        out,
+        "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {WATCHDOG_PID}, \"tid\": 0, \
+         \"args\": {{\"name\": \"watchdog\"}}}}",
+    );
+    for s in &t.recovery_spans {
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"recovery\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+             \"pid\": {WATCHDOG_PID}, \"tid\": 0, \"args\": {{\"fault\": {}}}}}",
+            us(s.from.as_nanos()),
+            us(s.to.since(s.from).as_nanos()),
+            s.fault,
+        );
+    }
+    for w in &t.stalls {
+        push_event(out, first);
+        let _ = write!(
+            out,
+            "{{\"name\": \"stall\", \"ph\": \"X\", \"ts\": {:.3}, \"dur\": {:.3}, \
+             \"pid\": {WATCHDOG_PID}, \"tid\": 1, \"args\": {{\"pending\": {}",
+            us(w.from.as_nanos()),
+            us(w.to.since(w.from).as_nanos()),
+            w.pending,
+        );
+        if let Some(f) = w.recovery {
+            let _ = write!(out, ", \"recovery_of_fault\": {f}");
+        }
+        out.push_str("}}");
+    }
+}
+
+/// Writes [`chrome_trace`] to `path`, creating parent directories.
+pub fn write_chrome_trace(path: &str, m: &RunMetrics) -> std::io::Result<()> {
+    if let Some(dir) = std::path::Path::new(path).parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    std::fs::write(path, chrome_trace(m))
+}
+
+/// Structural JSON well-formedness check: strings terminate, escapes
+/// are consumed, braces/brackets balance and match. Self-contained so
+/// CI can validate the exported trace without `jq`/`python`.
+pub fn validate_json(s: &str) -> Result<(), String> {
+    let b = s.as_bytes();
+    let mut stack: Vec<u8> = Vec::new();
+    let mut in_str = false;
+    let mut esc = false;
+    let mut saw_value = false;
+    for (i, &c) in b.iter().enumerate() {
+        if in_str {
+            if esc {
+                esc = false;
+            } else if c == b'\\' {
+                esc = true;
+            } else if c == b'"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            b'"' => {
+                in_str = true;
+                saw_value = true;
+            }
+            b'{' | b'[' => stack.push(c),
+            b'}' => {
+                if stack.pop() != Some(b'{') {
+                    return Err(format!("unmatched '}}' at byte {i}"));
+                }
+            }
+            b']' => {
+                if stack.pop() != Some(b'[') {
+                    return Err(format!("unmatched ']' at byte {i}"));
+                }
+            }
+            _ => {}
+        }
+    }
+    if in_str {
+        return Err("unterminated string".into());
+    }
+    if !stack.is_empty() {
+        return Err(format!("{} unclosed bracket(s)", stack.len()));
+    }
+    if !saw_value {
+        return Err("empty document".into());
+    }
+    Ok(())
+}
+
+/// Counts duration spans named `name` in a document rendered by
+/// [`chrome_trace`] (which always emits `"name"` directly before
+/// `"ph": "X"`).
+pub fn count_spans(json: &str, name: &str) -> usize {
+    let needle = format!("\"name\": \"{name}\", \"ph\": \"X\"");
+    json.matches(&needle).count()
+}
+
+/// Parses `--trace-out <path>` from a bench's argument list.
+pub fn trace_out_arg(args: &[String]) -> Option<String> {
+    args.windows(2)
+        .find(|w| w[0] == "--trace-out")
+        .map(|w| w[1].clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rio_sim::SimTime;
+    use rio_ssd::SsdProfile;
+    use rio_stack::{
+        Cluster, ClusterConfig, FabricConfig, FaultPlan, OrderingMode, TelemetryConfig,
+        TraceConfig, Workload,
+    };
+
+    fn traced_run(ring: usize) -> RunMetrics {
+        let mut cfg = ClusterConfig::single_ssd(
+            OrderingMode::Rio { merge: true },
+            SsdProfile::optane905p(),
+            2,
+        );
+        cfg.trace = Some(TraceConfig { ring });
+        cfg.telemetry = Some(TelemetryConfig::default());
+        Cluster::new(cfg, Workload::random_4k(2, 120)).run()
+    }
+
+    #[test]
+    fn export_is_valid_json_with_spans_for_every_traced_stage() {
+        let m = traced_run(4096);
+        let json = chrome_trace(&m);
+        validate_json(&json).expect("well-formed");
+        // A Rio run reaches every stage, so every segment label must
+        // have at least one span.
+        for label in LatencyBreakdown::SEGMENT_LABELS {
+            assert!(
+                count_spans(&json, label) >= 1,
+                "no span for stage segment {label}"
+            );
+        }
+        // Counters rendered from the telemetry series.
+        assert!(json.contains("\"delivered KIOPS\""));
+        assert!(json.contains("\"ssd queue\""));
+        // Nothing evicted: no truncation metadata.
+        assert!(!json.contains("stage_trace_ring"));
+    }
+
+    #[test]
+    fn ring_eviction_is_reported_as_metadata() {
+        let m = traced_run(4);
+        assert!(m.breakdown.as_ref().unwrap().records_dropped > 0);
+        let json = chrome_trace(&m);
+        validate_json(&json).expect("well-formed");
+        assert!(json.contains("\"stage_trace_ring\""));
+        assert!(json.contains("records_dropped"));
+    }
+
+    #[test]
+    fn crash_run_renders_recovery_and_stall_bands() {
+        let mut cfg = ClusterConfig::single_ssd(
+            OrderingMode::Rio { merge: true },
+            SsdProfile::optane905p(),
+            2,
+        );
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![0]);
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = Cluster::new(cfg, Workload::random_4k(2, 400)).run();
+        let json = chrome_trace(&m);
+        validate_json(&json).expect("well-formed");
+        assert_eq!(count_spans(&json, "recovery"), 1);
+        assert!(count_spans(&json, "stall") >= 1);
+        assert!(json.contains("\"recovery_of_fault\": 0"));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_documents() {
+        assert!(validate_json("{\"a\": [1, 2}").is_err());
+        assert!(validate_json("{\"a\": \"unterminated").is_err());
+        assert!(validate_json("   ").is_err());
+        assert!(validate_json("{\"a\": [1, 2]}").is_ok());
+    }
+
+    #[test]
+    fn trace_out_flag_parses() {
+        let args: Vec<String> = ["bench", "--smoke", "--trace-out", "/tmp/t.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(trace_out_arg(&args).as_deref(), Some("/tmp/t.json"));
+        assert_eq!(trace_out_arg(&args[..2].to_vec()), None);
+    }
+}

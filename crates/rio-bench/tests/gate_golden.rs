@@ -5,6 +5,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
+use rio_bench::fig::{render_fig_json, FigCell};
 use rio_bench::sweep::{render_json, Cell};
 
 fn cell(figure: &str, mode: &str, wall_secs: f64, events: u64, p99: f64) -> Cell {
@@ -182,6 +183,138 @@ fn schema_mismatch_exits_2() {
     let good_base = write("golden_base_ok.json", &render(&baseline_cells(), false));
     let bad_cur = write("golden_cur_schema2.json", &old);
     let out = gate(&good_base, &bad_cur);
+    let stderr = String::from_utf8_lossy(&out.stderr).to_string();
+    assert_eq!(out.status.code(), Some(2), "{stderr}");
+    assert!(stderr.contains("schema mismatch"), "{stderr}");
+}
+
+#[test]
+fn event_count_drift_warning_names_cells_with_expected_and_actual() {
+    let base = write("golden_base_drift.json", &render(&baseline_cells(), false));
+    // Event counts drift by ~1% (same wall clock): inside the events/s
+    // tolerance, so the gate passes but must name the drifted cell with
+    // both counts.
+    let mut cells = baseline_cells();
+    cells[0].events = 527_000;
+    let cur = write("golden_drifted.json", &render(&cells, false));
+    let out = gate(&base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(
+        stdout.contains("WARNING — deterministic event counts drifted in 1 cell(s)"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains(
+            "fig10b_optane/RIO t=2 init=1 loss=0 paths=1: event-count drift: \
+             expected 532029 events, measured 527000"
+        ),
+        "{stdout}"
+    );
+}
+
+fn fig_cell(figure: &str, mode: &str, kiops: f64) -> FigCell {
+    FigCell {
+        figure: figure.into(),
+        mode: mode.into(),
+        threads: 2,
+        initiators: 1,
+        targets: 1,
+        loss: 0.0,
+        paths: 1,
+        kiops,
+        groups: 6_000,
+    }
+}
+
+fn fig_baseline_cells() -> Vec<FigCell> {
+    vec![
+        fig_cell("fig10a", "RIO", 704.2),
+        fig_cell("fig10a", "orderless", 761.9),
+        fig_cell("fig13", "Linux", 9.1),
+    ]
+}
+
+/// Runs the gate with a passing engine comparison plus the given
+/// figure baseline/current pair, so the exit code reflects the figure
+/// gate alone.
+fn fig_gate(name: &str, fig_base: &PathBuf, fig_cur: &PathBuf) -> Output {
+    let eng_base = write(
+        &format!("golden_eng_base_{name}.json"),
+        &render(&baseline_cells(), false),
+    );
+    let eng_cur = write(
+        &format!("golden_eng_cur_{name}.json"),
+        &render(&baseline_cells(), false),
+    );
+    Command::new(env!("CARGO_BIN_EXE_bench_gate"))
+        .arg("--baseline")
+        .arg(&eng_base)
+        .arg("--current")
+        .arg(&eng_cur)
+        .arg("--fig")
+        .arg(fig_base)
+        .arg("--fig-current")
+        .arg(fig_cur)
+        .output()
+        .expect("run bench_gate")
+}
+
+#[test]
+fn fig_identical_trajectory_passes() {
+    let base = write("golden_fig_base.json", &render_fig_json(&fig_baseline_cells()));
+    let cur = write("golden_fig_same.json", &render_fig_json(&fig_baseline_cells()));
+    let out = fig_gate("same", &base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("figures PASS (3 cells compared)"), "{stdout}");
+}
+
+#[test]
+fn fig_doctored_kiops_regression_fails_naming_the_cell() {
+    let base = write(
+        "golden_fig_base_kiops.json",
+        &render_fig_json(&fig_baseline_cells()),
+    );
+    // The RIO cell loses 20% of its KIOPS; others untouched.
+    let mut cells = fig_baseline_cells();
+    cells[0].kiops *= 0.80;
+    let cur = write("golden_fig_regressed.json", &render_fig_json(&cells));
+    let out = fig_gate("kiops", &base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("FAIL fig10a RIO"), "{stdout}");
+    assert!(stdout.contains("kiops regression"), "{stdout}");
+    assert!(stdout.contains("PASS fig10a orderless"), "{stdout}");
+    assert!(stdout.contains("PASS fig13 Linux"), "{stdout}");
+}
+
+#[test]
+fn fig_missing_cell_fails() {
+    let base = write(
+        "golden_fig_base_miss.json",
+        &render_fig_json(&fig_baseline_cells()),
+    );
+    let cur = write(
+        "golden_fig_missing.json",
+        &render_fig_json(&fig_baseline_cells()[..2]),
+    );
+    let out = fig_gate("miss", &base, &cur);
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    assert_eq!(out.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("missing from current trajectory"), "{stdout}");
+    assert!(stdout.contains("FAIL fig13 Linux"), "{stdout}");
+}
+
+#[test]
+fn fig_schema_mismatch_exits_2() {
+    let doc = render_fig_json(&fig_baseline_cells()).replace("\"schema\": 1", "\"schema\": 99");
+    let base = write("golden_fig_base_schema99.json", &doc);
+    let cur = write(
+        "golden_fig_cur_ok.json",
+        &render_fig_json(&fig_baseline_cells()),
+    );
+    let out = fig_gate("schema", &base, &cur);
     let stderr = String::from_utf8_lossy(&out.stderr).to_string();
     assert_eq!(out.status.code(), Some(2), "{stderr}");
     assert!(stderr.contains("schema mismatch"), "{stderr}");

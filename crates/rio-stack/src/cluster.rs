@@ -38,6 +38,7 @@ use crate::crash::{
     SCRUB_US_PER_BLOCK,
 };
 use crate::metrics::{EpochMetrics, IntegrityMetrics, RecoveryMetrics, RunMetrics, StreamRecovery};
+use crate::telemetry::TelemetrySampler;
 use crate::trace::{Stage, StageTrace, TRACE_NONE};
 use crate::workload::{FsyncStage, GroupSpec, Workload};
 
@@ -442,6 +443,8 @@ pub struct Cluster {
     stage_lat: [rio_sim::MeanAccum; 4],
     /// Per-command stage recorder (`None` = tracing off, zero cost).
     trace: Option<StageTrace>,
+    /// Virtual-time series sampler (`None` = telemetry off, zero cost).
+    telemetry: Option<TelemetrySampler>,
     last_completion: SimTime,
     /// Whether end-to-end data integrity is modelled this run: payload
     /// digests stamped at submission, real payload bytes at the device,
@@ -655,6 +658,10 @@ impl Cluster {
             .trace
             .as_ref()
             .map(|tc| StageTrace::new(tc, total_streams));
+        let telemetry = cfg
+            .telemetry
+            .as_ref()
+            .map(|tc| TelemetrySampler::new(tc, tenants.clone(), n_targets, init_cfgs.len()));
         let initiators: Vec<Initiator> = {
             let mut v = Vec::with_capacity(init_cfgs.len());
             let mut base = 0usize;
@@ -715,6 +722,7 @@ impl Cluster {
             op_latency: Histogram::new(),
             stage_lat: Default::default(),
             trace,
+            telemetry,
             last_completion: SimTime::ZERO,
             integrity,
             integ: IntegrityMetrics::default(),
@@ -936,6 +944,7 @@ impl Cluster {
             breakdown: self.trace.as_ref().map(StageTrace::finish),
             initiators,
             tenants,
+            telemetry: self.telemetry.as_ref().map(TelemetrySampler::finish),
         }
     }
 
@@ -1083,6 +1092,9 @@ impl Cluster {
                                 stage: spec.stage,
                             },
                         );
+                        if let Some(tm) = &mut self.telemetry {
+                            tm.group_submitted(cpu, 1);
+                        }
                     }
                     self.order_queues[stream.0 as usize].push(attr, 0);
                 }
@@ -1317,6 +1329,9 @@ impl Cluster {
             fragments_done: 0,
             submitted: cpu,
         });
+        if let Some(tm) = &mut self.telemetry {
+            tm.group_submitted(cpu, groups);
+        }
         for ext in &extents {
             let digest = if self.integrity {
                 cpu = self.init_run_on(t, cpu, self.cfg.cpu.crc_per_block * ext.range.blocks as u64);
@@ -1627,6 +1642,9 @@ impl Cluster {
         self.commands_sent += 1;
         let init = self.threads[cmd.thread].init;
         self.initiators[init].commands_sent += 1;
+        if let Some(tm) = &mut self.telemetry {
+            tm.cmd_sent(now);
+        }
         if let Some(tr) = &mut self.trace {
             let stream = cmd
                 .attr
@@ -1680,6 +1698,9 @@ impl Cluster {
                 tr.retx(tid, pkts);
             }
         }
+        if let Some(tm) = &mut self.telemetry {
+            tm.retx_initiator(now, init, pkts, if corrupt { pkts } else { 0 });
+        }
         let qp = self.target_qp(target, qp);
         let step = self
             .fabric
@@ -1701,19 +1722,22 @@ impl Cluster {
                 self.threads[cmd.thread].init,
             )
         };
+        // `pkts > packets_for(bytes)` encodes a lost pull *request*:
+        // this round retransmits only that one header packet — the
+        // data window, never transmitted, goes out as a first try
+        // and must not be annotated (it is not counted as a wire
+        // retransmission either).
+        let wire = self.fabric.profile().packets_for(bytes);
+        let n = if pkts > wire { 1 } else { pkts };
         if let Some(tr) = &mut self.trace {
-            // `pkts > packets_for(bytes)` encodes a lost pull *request*:
-            // this round retransmits only that one header packet — the
-            // data window, never transmitted, goes out as a first try
-            // and must not be annotated (it is not counted as a wire
-            // retransmission either).
-            let wire = self.fabric.profile().packets_for(bytes);
-            let n = if pkts > wire { 1 } else { pkts };
             if corrupt {
                 tr.retx_corrupt(tid, n);
             } else {
                 tr.retx(tid, n);
             }
+        }
+        if let Some(tm) = &mut self.telemetry {
+            tm.retx_target(now, target, n, if corrupt { n } else { 0 });
         }
         let init_qp = self.target_qp(target, qp);
         match self.fabric.resume_pull(
@@ -1756,6 +1780,9 @@ impl Cluster {
                 tr.retx(tid, pkts);
             }
         }
+        if let Some(tm) = &mut self.telemetry {
+            tm.retx_target(now, target, pkts, if corrupt { pkts } else { 0 });
+        }
         let step = self
             .fabric
             .resume_send(&mut self.targets[target].nic, qp, now, pkts, bytes);
@@ -1797,6 +1824,11 @@ impl Cluster {
         if let Some(tr) = &mut self.trace {
             tr.rec(tid, Stage::GateAdmit, recv_done);
             tr.gate_depth(tid, self.targets[target_idx].gate.buffered() as u32);
+        }
+        if self.telemetry.is_some() {
+            let depth = self.targets[target_idx].gate.buffered() as u32;
+            let tm = self.telemetry.as_mut().expect("checked above");
+            tm.gate_depth(recv_done, depth);
         }
 
         if kind == CmdKind::Flush {
@@ -1937,6 +1969,9 @@ impl Cluster {
         } else {
             (now, vec![BlockImage::Tag(tag); blocks as usize])
         };
+        if let Some(tm) = &mut self.telemetry {
+            tm.ssd_admit(at, target_idx);
+        }
         let (_op, done) =
             self.targets[target_idx].ssds[ssd_idx].submit_write(at, lba, images, false);
         self.events.push(done, Event::SsdWriteDone(id));
@@ -1986,6 +2021,9 @@ impl Cluster {
         }
         for (tenant_idx, id, queued_at) in admit {
             self.tenant_gate_wait[tenant_idx].record(now.since(queued_at));
+            if let Some(tm) = &mut self.telemetry {
+                tm.drr_wait(now, tenant_idx, now.since(queued_at));
+            }
             self.ssd_submit_now(now, id);
         }
     }
@@ -2088,6 +2126,9 @@ impl Cluster {
                 cmd.trace,
             )
         };
+        if let Some(tm) = &mut self.telemetry {
+            tm.ssd_done(now, target_idx);
+        }
         if let Some(drr) = &mut self.targets[target_idx].drr {
             // A completed write frees one admission slot; let the DRR
             // refill it before the completion is processed.
@@ -2177,6 +2218,9 @@ impl Cluster {
         let cmd = self.cmds.remove(id).expect("cmd exists");
         let t = cmd.thread;
         let cpu = self.init_run_on(t, now, self.cfg.cpu.irq);
+        if let Some(tm) = &mut self.telemetry {
+            tm.cmd_done(cpu);
+        }
         if let Some(tr) = &mut self.trace {
             tr.rec(cmd.trace, Stage::Complete, cpu);
             if cmd.attr.is_none() {
@@ -2225,6 +2269,15 @@ impl Cluster {
                     .sum();
                 tr.note_completer_held(held as u64);
             }
+            if self.telemetry.is_some() {
+                let held: usize = self
+                    .initiators
+                    .iter()
+                    .map(|i| i.completer.total_pending())
+                    .sum();
+                let tm = self.telemetry.as_mut().expect("checked above");
+                tm.completer_pending(cpu, held as u64);
+            }
             for &seq in &delivered {
                 let info = self.group_info[stream.0 as usize]
                     .remove(seq.0)
@@ -2238,6 +2291,9 @@ impl Cluster {
                 }
                 self.groups_done += 1;
                 self.blocks_done += info.blocks as u64;
+                if let Some(tm) = &mut self.telemetry {
+                    tm.delivered(cpu, 1, info.blocks as u64);
+                }
                 self.group_latency.record(cpu.since(info.submitted));
                 self.last_completion = self.last_completion.max(cpu);
                 self.released_through[stream.0 as usize] =
@@ -2259,6 +2315,9 @@ impl Cluster {
                     // Write leg finished; issue the FLUSH leg.
                     self.groups_done += unit.plain_groups;
                     self.blocks_done += unit.blocks as u64;
+                    if let Some(tm) = &mut self.telemetry {
+                        tm.delivered(cpu, unit.plain_groups, unit.blocks as u64);
+                    }
                     self.group_latency.record(cpu.since(unit.submitted));
                     self.last_completion = self.last_completion.max(cpu);
                     self.note_plain_done(t, &unit, cpu);
@@ -2268,6 +2327,9 @@ impl Cluster {
                     // Orderless / Horae data path.
                     self.groups_done += unit.plain_groups;
                     self.blocks_done += unit.blocks as u64;
+                    if let Some(tm) = &mut self.telemetry {
+                        tm.delivered(cpu, unit.plain_groups, unit.blocks as u64);
+                    }
                     self.group_latency.record(cpu.since(unit.submitted));
                     self.last_completion = self.last_completion.max(cpu);
                     self.note_plain_done(t, &unit, cpu);
@@ -2415,6 +2477,15 @@ impl Cluster {
             // Every open trace dies with its command; the rolled-back
             // tail redispatches with fresh traces in the next epoch.
             tr.abort_open(idx as u32);
+        }
+        if self.telemetry.is_some() {
+            // In-flight commands and queued writes died with the
+            // connections. The pending-group gauge survives only when
+            // replay tracking will account it back (redeliver/requeue)
+            // after recovery.
+            let drop_pending = !(ev.resume && self.track_replay);
+            let tm = self.telemetry.as_mut().expect("checked above");
+            tm.crash(now, drop_pending);
         }
 
         // Physical failure. Power loss kills volatile SSD state on the
@@ -2619,6 +2690,9 @@ impl Cluster {
             .max()
             .unwrap_or(SimDuration::ZERO);
         let resumed_at = t_disc + data_recovery;
+        if let Some(tm) = &mut self.telemetry {
+            tm.recovery_span(idx as u32, now, resumed_at);
+        }
 
         // ---- Re-arm and resume (or halt for one-shot experiments) -----
         let mut streams = Vec::new();
@@ -2720,6 +2794,9 @@ impl Cluster {
                         .expect("undelivered group is tracked");
                     self.groups_done += 1;
                     self.blocks_done += spec.blocks() as u64;
+                    if let Some(tm) = &mut self.telemetry {
+                        tm.delivered(resumed_at, 1, spec.blocks() as u64);
+                    }
                     self.group_latency.record(resumed_at.since(info.submitted));
                     let init = self.threads[t].init;
                     let im = &mut self.initiators[init];
@@ -2733,6 +2810,11 @@ impl Cluster {
                 //    re-queue it ahead of the thread's ungenerated
                 //    script, preserving submission order.
                 requeued = replay.len() as u64;
+                if requeued > 0 {
+                    if let Some(tm) = &mut self.telemetry {
+                        tm.requeued(resumed_at, requeued);
+                    }
+                }
                 while let Some((_, spec)) = replay.pop_back() {
                     self.threads[t].queue.push_front(spec);
                 }
@@ -2859,6 +2941,7 @@ mod tests {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            telemetry: None,
             initiators: Vec::new(),
         }
     }
@@ -3162,6 +3245,7 @@ mod tests {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            telemetry: None,
             initiators: Vec::new(),
         }
     }

@@ -1,6 +1,7 @@
 //! Cluster configuration: topology, ordering mode, CPU cost model,
 //! and the fault-injection plan.
 
+use crate::telemetry::TelemetryConfig;
 use crate::trace::TraceConfig;
 use rio_net::FabricProfile;
 use rio_sim::SimTime;
@@ -443,6 +444,13 @@ pub struct ClusterConfig {
     /// set, [`crate::metrics::RunMetrics::breakdown`] carries the
     /// fig. 14-style [`crate::trace::LatencyBreakdown`].
     pub trace: Option<TraceConfig>,
+    /// Virtual-time telemetry sampling (`None` = off, zero overhead).
+    /// When set, [`crate::metrics::RunMetrics::telemetry`] carries the
+    /// bucketed [`crate::telemetry::Telemetry`] series plus the stall
+    /// watchdog's findings. Like tracing, the sampler schedules no
+    /// events and draws no randomness, so enabling it never perturbs
+    /// the simulated run.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl ClusterConfig {
@@ -469,6 +477,7 @@ impl ClusterConfig {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            telemetry: None,
         }
     }
 
@@ -501,6 +510,7 @@ impl ClusterConfig {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            telemetry: None,
         }
     }
 

@@ -170,6 +170,7 @@ mod tests {
             integrity: false,
             faults: FaultPlan::none(),
             trace: None,
+            telemetry: None,
             initiators: Vec::new(),
         }
     }

@@ -36,6 +36,7 @@ pub mod config;
 pub mod cpu;
 pub mod crash;
 pub mod metrics;
+pub mod telemetry;
 pub mod trace;
 pub mod workload;
 
@@ -47,6 +48,9 @@ pub use config::{
 pub use metrics::{
     jain_index, EpochMetrics, InitiatorMetrics, IntegrityMetrics, NetMetrics, RecoveryMetrics,
     RunMetrics, StreamRecovery, TenantMetrics,
+};
+pub use telemetry::{
+    RecoverySpan, StallWindow, Telemetry, TelemetryBucket, TelemetryConfig, TenantWait,
 };
 pub use trace::{CmdTraceRecord, LatencyBreakdown, Stage, TraceConfig};
 pub use workload::Workload;

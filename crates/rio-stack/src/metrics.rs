@@ -360,6 +360,9 @@ pub struct RunMetrics {
     /// Per-tenant breakdown, one entry per distinct tenant id in
     /// ascending order.
     pub tenants: Vec<TenantMetrics>,
+    /// Virtual-time telemetry series — `Some` only when the run was
+    /// configured with [`crate::config::ClusterConfig::telemetry`].
+    pub telemetry: Option<crate::telemetry::Telemetry>,
 }
 
 impl RunMetrics {
@@ -455,6 +458,7 @@ mod tests {
             breakdown: None,
             initiators: Vec::new(),
             tenants: Vec::new(),
+            telemetry: None,
         }
     }
 

@@ -48,6 +48,7 @@ fn base_cfg() -> ClusterConfig {
         integrity: false,
         faults: FaultPlan::none(),
         trace: None,
+        telemetry: None,
         initiators: Vec::new(),
     }
 }

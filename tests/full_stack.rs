@@ -6,8 +6,8 @@ use rio::sim::SimTime;
 use rio::ssd::SsdProfile;
 use rio::stack::crash::run_crash_recovery;
 use rio::stack::{
-    Cluster, ClusterConfig, FabricConfig, FaultPlan, InitiatorConfig, OrderingMode, TraceConfig,
-    Workload,
+    Cluster, ClusterConfig, FabricConfig, FaultPlan, InitiatorConfig, OrderingMode,
+    TelemetryConfig, TraceConfig, Workload,
 };
 use rio::workloads::{MiniKv, Varmail};
 
@@ -364,6 +364,187 @@ fn tracing_disabled_is_observably_free() {
     assert!(on.breakdown.is_some());
     on.breakdown = None;
     assert_eq!(on, off, "tracing perturbed the crash run");
+}
+
+#[test]
+fn telemetry_disabled_is_observably_free() {
+    // Telemetry holds the same zero-overhead contract as tracing: with
+    // `telemetry: None` the run is bit-identical to the pre-telemetry
+    // engine (the pinned event counts below are the same literals the
+    // tracing test pins), and an enabled run differs in the
+    // `telemetry` field and nothing else — the sampler is passive, so
+    // it may not add events, consume rng draws, or perturb a counter.
+    let expected = [
+        (OrderingMode::Orderless, 5_039u64, 5_351u64),
+        (OrderingMode::LinuxNvmf, 1_443, 1_497),
+        (OrderingMode::Horae, 10_784, 10_647),
+        (OrderingMode::Rio { merge: true }, 5_061, 5_297),
+    ];
+    for (mode, clean_events, lossy_events) in expected {
+        let groups = if mode == OrderingMode::LinuxNvmf {
+            60
+        } else {
+            400
+        };
+        let run = |telemetry: Option<TelemetryConfig>, lossy: bool| {
+            let mut cfg = small(mode.clone(), 3);
+            if lossy {
+                cfg.net = FabricConfig::lossy(0.05, 2);
+                cfg.net.migrate_every = 32;
+            }
+            cfg.telemetry = telemetry;
+            Cluster::new(cfg, Workload::random_4k(3, groups)).run()
+        };
+        for (lossy, pinned) in [(false, clean_events), (true, lossy_events)] {
+            let off = run(None, lossy);
+            assert_eq!(
+                off.events_processed,
+                pinned,
+                "{} (lossy={lossy}): disabled-telemetry event count moved off the snapshot",
+                mode.label()
+            );
+            assert!(off.telemetry.is_none());
+            let mut on = run(Some(TelemetryConfig::default()), lossy);
+            assert!(on.telemetry.is_some());
+            on.telemetry = None;
+            assert_eq!(
+                on,
+                off,
+                "{} (lossy={lossy}): telemetry perturbed the simulation",
+                mode.label()
+            );
+        }
+    }
+    // The crash shape, pinned the same way.
+    let run = |telemetry: Option<TelemetryConfig>| {
+        let mut cfg = ClusterConfig::four_ssd_two_targets(OrderingMode::Rio { merge: true }, 3);
+        cfg.initiator_cores = 8;
+        for t in &mut cfg.targets {
+            t.cores = 8;
+        }
+        cfg.qps_per_target = 8;
+        cfg.max_inflight_per_stream = 16;
+        cfg.net = FabricConfig::lossy(1e-3, 2);
+        cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+        cfg.telemetry = telemetry;
+        Cluster::new(cfg, Workload::random_4k(3, 400)).run()
+    };
+    let off = run(None);
+    assert_eq!(off.events_processed, 5_046, "crash event count moved");
+    assert_eq!(off.commands_sent, 1_237, "crash command count moved");
+    let mut on = run(Some(TelemetryConfig::default()));
+    assert!(on.telemetry.is_some());
+    on.telemetry = None;
+    assert_eq!(on, off, "telemetry perturbed the crash run");
+}
+
+#[test]
+fn telemetry_times_the_crash_dip_and_recovery() {
+    // The observability acceptance rail: on the 3-initiator
+    // crash-under-loss config the time series must *show* the crash —
+    // healthy delivery before the fault, a dip to zero while the
+    // cluster recovers, the watchdog flagging those windows as stalls
+    // annotated with the recovery span, and delivery resuming after.
+    let mut cfg = ClusterConfig::multi_initiator(OrderingMode::Rio { merge: true }, 3, 1, 2);
+    cfg.net = FabricConfig::lossy(1e-3, 2);
+    cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(400_000), vec![1]);
+    cfg.telemetry = Some(TelemetryConfig::default());
+    let m = Cluster::new(cfg, Workload::random_4k(3, 400)).run();
+    let t = m.telemetry.as_ref().expect("telemetry enabled");
+
+    assert_eq!(t.recovery_spans.len(), 1, "one crash, one recovery span");
+    let span = &t.recovery_spans[0];
+    assert_eq!(span.fault, 0);
+
+    // Throughput before the crash: some pre-fault bucket delivers.
+    let bucket_ns = t.bucket.as_nanos();
+    let pre_crash_peak = t
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| t.bucket_start(*i).as_nanos() + bucket_ns <= span.from.as_nanos())
+        .map(|(_, b)| b.delivered_groups)
+        .max()
+        .expect("buckets before the crash");
+    assert!(pre_crash_peak > 0, "no delivery before the crash");
+
+    // The dip: every bucket fully inside the recovery span delivers
+    // nothing (redelivery happens at the resume instant, outside).
+    let inside: Vec<_> = t
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| {
+            let start = t.bucket_start(*i).as_nanos();
+            start >= span.from.as_nanos() && start + bucket_ns <= span.to.as_nanos()
+        })
+        .collect();
+    assert!(!inside.is_empty(), "recovery span shorter than a bucket");
+    assert!(
+        inside.iter().all(|(_, b)| b.delivered_groups == 0),
+        "delivery during the outage"
+    );
+
+    // The watchdog marks the outage and attributes it to the recovery.
+    assert!(
+        t.stalls.iter().any(|s| s.recovery == Some(0)),
+        "no stall window annotated with the recovery span: {:?}",
+        t.stalls
+    );
+
+    // And the run comes back: a bucket ending after the resume instant
+    // delivers again.
+    let resumed = t
+        .buckets
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| t.bucket_start(*i).as_nanos() + bucket_ns > span.to.as_nanos())
+        .any(|(_, b)| b.delivered_groups > 0);
+    assert!(resumed, "delivery never resumed after recovery");
+
+    // Conservation on this config too: the series sums to the totals.
+    assert_eq!(t.total_delivered_groups(), m.groups_done);
+    assert_eq!(t.total_delivered_blocks(), m.blocks_done);
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(12))]
+
+    /// Telemetry conservation: whatever the mode, fabric loss, or a
+    /// mid-run crash (crash only under Rio — fault injection requires
+    /// a Rio mode), the per-bucket delivered series sums exactly to
+    /// the run's delivered totals. Nothing is double-counted across
+    /// crash, redelivery, and requeue.
+    #[test]
+    fn prop_telemetry_conserves_delivered_totals(
+        mode_idx in 0usize..4,
+        loss_idx in 0usize..3,
+        crash in proptest::prelude::any::<bool>(),
+        seed in 1u64..500,
+    ) {
+        let modes = [
+            OrderingMode::Orderless,
+            OrderingMode::LinuxNvmf,
+            OrderingMode::Horae,
+            OrderingMode::Rio { merge: true },
+        ];
+        let losses = [0.0f64, 1e-3, 0.05];
+        let mode = modes[mode_idx].clone();
+        let groups = if mode == OrderingMode::LinuxNvmf { 40 } else { 200 };
+        let mut cfg = small(mode.clone(), 3);
+        cfg.seed = seed;
+        if losses[loss_idx] > 0.0 {
+            cfg.net = FabricConfig::lossy(losses[loss_idx], 2);
+        }
+        if crash && matches!(mode, OrderingMode::Rio { .. }) {
+            cfg.faults = FaultPlan::survivable_crash(SimTime::from_nanos(300_000), vec![0]);
+        }
+        cfg.telemetry = Some(TelemetryConfig::default());
+        let m = Cluster::new(cfg, Workload::random_4k(3, groups)).run();
+        let t = m.telemetry.as_ref().expect("telemetry enabled");
+        proptest::prop_assert_eq!(t.total_delivered_groups(), m.groups_done);
+        proptest::prop_assert_eq!(t.total_delivered_blocks(), m.blocks_done);
+    }
 }
 
 #[test]
