@@ -23,6 +23,9 @@
 //! bench_gate --write-fig out.json    # regenerate the figure baseline
 //! ```
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use rio_bench::fig::{compare_fig, parse_fig, render_fig_json, trajectory as fig_trajectory};
 use rio_bench::gate::{compare, parse, GateOutcome};
 use rio_bench::recovery::{compare_recovery, parse_recovery, trajectory};

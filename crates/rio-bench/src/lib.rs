@@ -6,6 +6,9 @@
 //! with the paper's qualitative expectation. EXPERIMENTS.md records the
 //! measured numbers against the paper's.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 use rio_stack::{Cluster, ClusterConfig, OrderingMode, RunMetrics, Workload};
 
 pub mod fig;

@@ -11,6 +11,9 @@
 //!   4 KB blocks across remote SSDs (§6.2.1) and therefore decides how
 //!   requests split across targets.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod bio;
 pub mod plug;
 pub mod volume;

@@ -14,7 +14,7 @@
 //! Per-core journal areas (iJournaling) let concurrent fsyncs commit
 //! independently; the global txid resolves conflicts at replay (§4.7).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crate::device::{BlockDev, BLOCK_SIZE};
 use crate::journal::{self, Transaction};
@@ -43,8 +43,11 @@ pub struct RioFs<D: BlockDev> {
     inodes: Vec<Inode>,
     /// Block allocation bitmap (one bool per device block).
     bitmap: Vec<bool>,
-    /// name -> inode number.
-    dir: HashMap<String, u64>,
+    /// name -> inode number. A `BTreeMap` so that directory iteration
+    /// (readdir, fsck, dirent-block materialisation) has one stable,
+    /// name-sorted order on every run — std's `HashMap` is seeded per
+    /// process and would reorder it.
+    dir: BTreeMap<String, u64>,
     /// Dirty data pages: (ino, file block index) -> bytes.
     pages: BTreeMap<(u64, u64), Vec<u8>>,
     /// Metadata blocks dirtied since the last fsync of any file.
@@ -103,7 +106,7 @@ impl<D: BlockDev> RioFs<D> {
                 }
             }
         }
-        let mut dir = HashMap::new();
+        let mut dir = BTreeMap::new();
         for ino in 0..layout.n_inodes {
             let blk = layout.dir_start + (ino as usize * DIRENT_SIZE / BLOCK_SIZE) as u64;
             let off = (ino as usize * DIRENT_SIZE) % BLOCK_SIZE;
@@ -161,11 +164,14 @@ impl<D: BlockDev> RioFs<D> {
         &self.dev
     }
 
-    /// Lists directory entries.
+    /// Lists every directory entry as a `(name, inode)` pair.
+    ///
+    /// Iteration order is the directory `BTreeMap`'s name order —
+    /// stable across runs, insertion orders and journal-replay
+    /// remounts, so recovery scans and tooling that walk the
+    /// namespace replay deterministically (no sort step needed).
     pub fn readdir(&self) -> Vec<(String, u64)> {
-        let mut v: Vec<(String, u64)> = self.dir.iter().map(|(n, &i)| (n.clone(), i)).collect();
-        v.sort();
-        v
+        self.dir.iter().map(|(n, &ino)| (n.clone(), ino)).collect()
     }
 
     /// File size, or `None` when absent.
@@ -325,7 +331,7 @@ impl<D: BlockDev> RioFs<D> {
         } else if blk >= l.dir_start && blk < l.dir_start + l.dir_blocks {
             let first = ((blk - l.dir_start) as usize * BLOCK_SIZE) / DIRENT_SIZE;
             // Invert the dir map for the inode slots in this block.
-            let mut by_ino: HashMap<u64, &str> = HashMap::new();
+            let mut by_ino: BTreeMap<u64, &str> = BTreeMap::new();
             for (name, &ino) in &self.dir {
                 by_ino.insert(ino, name);
             }
@@ -429,7 +435,7 @@ impl<D: BlockDev> RioFs<D> {
             }
         }
         // No shared data blocks; pointers in range and allocated.
-        let mut owners: HashMap<u64, u64> = HashMap::new();
+        let mut owners: BTreeMap<u64, u64> = BTreeMap::new();
         for (ino, inode) in self.inodes.iter().enumerate() {
             if !inode.used {
                 continue;
@@ -470,6 +476,37 @@ mod tests {
         fs.write("hello", 0, b"storage order!").expect("write");
         assert_eq!(fs.read("hello", 0, 14).expect("read"), b"storage order!");
         assert_eq!(fs.stat("hello"), Some(14));
+    }
+
+    #[test]
+    fn readdir_order_stable_across_insertion_orders_and_remount() {
+        let names = |fs: &RioFs<MemDev>| -> Vec<String> {
+            fs.readdir().into_iter().map(|(n, _)| n).collect()
+        };
+        // Same files, opposite creation orders: identical scan order.
+        let mut a = fresh();
+        for n in ["zeta", "alpha", "mid"] {
+            a.create(n).expect("create");
+        }
+        let mut b = fresh();
+        for n in ["mid", "zeta", "alpha"] {
+            b.create(n).expect("create");
+        }
+        assert_eq!(
+            names(&a),
+            vec!["alpha", "mid", "zeta"],
+            "readdir is name-sorted, not insertion-ordered"
+        );
+        assert_eq!(names(&a), names(&b));
+        // fsck's recovery-scan report walks the same map: same order.
+        assert_eq!(a.fsck(), b.fsck());
+        // A journal replay (remount) rebuilds the same ordering.
+        for n in ["zeta", "alpha", "mid"] {
+            a.write(n, 0, b"x").expect("write");
+            a.fsync(n, 0).expect("fsync");
+        }
+        let re = RioFs::mount(a.into_device()).expect("remount");
+        assert_eq!(names(&re), vec!["alpha", "mid", "zeta"]);
     }
 
     #[test]

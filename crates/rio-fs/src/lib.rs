@@ -18,6 +18,9 @@
 //! admissible post-crash state and verify the journal-replay recovery
 //! restores a consistent image containing every fsync'ed file.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod device;
 pub mod fs;
 pub mod journal;

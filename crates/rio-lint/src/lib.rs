@@ -1,0 +1,124 @@
+//! `rio-lint`: workspace-wide determinism & safety static analysis.
+//!
+//! Determinism is this repository's standing invariant — every feature
+//! ships with byte-identical replay snapshots — but snapshots only
+//! catch a nondeterminism bug *after* it reaches the event path. This
+//! crate enforces the invariant statically, before a run ever
+//! executes, with a hand-rolled comment/string/raw-string-aware lexer
+//! (the workspace is offline-vendored, so no external parser) and a
+//! small rule engine:
+//!
+//! | Rule | What it enforces |
+//! |------|------------------|
+//! | D1 | no raw `std::collections::HashMap`/`HashSet` in event-path crates |
+//! | D2 | no `Instant::now`/`SystemTime::now` outside rio-bench's sweep module |
+//! | D3 | no `rand`/`thread_rng`/`from_entropy` outside `rio_sim::SimRng` |
+//! | D4 | no wall-clock date formatting in deterministic output |
+//! | S1 | every `unsafe` block carries a `// SAFETY:` comment |
+//! | S2 | no `panic!`/`todo!`/`unimplemented!` in non-test event-path code |
+//! | S3 | every crate root carries `#![deny(missing_docs)]` |
+//! | S4 | inline suppressions must name a real rule, give a reason, and be used |
+//!
+//! A violation may be excused with a line comment starting
+//! `rio-lint: allow(<rule>) <reason>` placed on the offending line or
+//! the line above; S4 reports any allow that stops matching, so
+//! suppressions cannot rot. Run `cargo run -p rio-lint` to lint the
+//! workspace (exit 0 = clean); CI runs it on every push.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+
+pub use rules::{check, FileMeta, Finding, EVENT_PATH_CRATES, RULES};
+
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: build output, vendored
+/// third-party shims, VCS state, and the intentionally-violating rule
+/// fixtures under `crates/rio-lint/tests/fixtures/`.
+const SKIP_DIRS: &[&str] = &["target", "vendor", ".git", "fixtures"];
+
+/// Returns the workspace root, resolved relative to this crate's
+/// manifest so the binary works from any working directory.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/rio-lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Classifies a workspace-relative `/`-separated path for the rules.
+pub fn classify(rel: &str) -> FileMeta {
+    let parts: Vec<&str> = rel.split('/').collect();
+    let krate = if parts.first() == Some(&"crates") && parts.len() > 1 {
+        parts[1].to_string()
+    } else {
+        "rio".to_string()
+    };
+    let in_test_dir = parts.iter().any(|p| *p == "tests" || *p == "benches");
+    let is_crate_root = rel == "src/lib.rs"
+        || rel == "src/main.rs"
+        || (parts.len() == 4
+            && parts[0] == "crates"
+            && parts[2] == "src"
+            && (parts[3] == "lib.rs" || parts[3] == "main.rs"))
+        || (parts.len() == 5 && parts[0] == "crates" && parts[2] == "src" && parts[3] == "bin")
+        || (parts.len() == 3 && parts[0] == "src" && parts[1] == "bin");
+    FileMeta {
+        rel: rel.to_string(),
+        krate,
+        is_crate_root,
+        in_test_dir,
+    }
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints every Rust source file under `root` (skipping build output,
+/// vendored shims, VCS state and the lint's own fixtures).
+///
+/// Returns `(files scanned, findings)`; findings are sorted by path,
+/// line, then rule, so output (and CI logs) are stable.
+pub fn lint_workspace(root: &Path) -> std::io::Result<(usize, Vec<Finding>)> {
+    let mut files = Vec::new();
+    collect_rs(root, root, &mut files)?;
+    let mut findings = Vec::new();
+    for path in &files {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = std::fs::read_to_string(path)?;
+        findings.extend(check(&src, &classify(&rel)));
+    }
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok((files.len(), findings))
+}

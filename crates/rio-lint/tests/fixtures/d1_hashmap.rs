@@ -1,0 +1,29 @@
+//! D1 fixture: raw hash collections on the event path.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::collections::BTreeMap;
+
+/// A comment may say HashMap freely; strings may too.
+const NOTE: &str = "HashMap here must not fire";
+
+/// Builds the maps.
+pub fn build() {
+    let mut banned: HashMap<u32, u32> = HashMap::new();
+    banned.insert(1, 2);
+    let fine: BTreeMap<u32, u32> = BTreeMap::new();
+    let _ = (banned, fine, NOTE);
+    // rio-lint: allow(D1) fixture: scratch set is built and drained, never iterated
+    let suppressed: HashSet<u32> = HashSet::new();
+    let _ = suppressed;
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_is_exempt() {
+        let _: HashMap<u8, u8> = HashMap::new();
+    }
+}

@@ -1,0 +1,15 @@
+//! D2 fixture: wall-clock reads in simulation code.
+
+use std::time::{Instant, SystemTime};
+
+/// `Instant::now` named inside a doc comment must not fire.
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let s = "Instant::now() in a string must not fire";
+    let _ = (t0, wall, s);
+    // rio-lint: allow(D2) fixture: real elapsed time for an offline report
+    let ok = std::time::Instant::now();
+    let _ = ok;
+    0
+}

@@ -1,0 +1,11 @@
+//! D3 fixture: OS-seeded or direct rand usage.
+
+use rand::Rng;
+
+/// Draws doomed randomness.
+pub fn draw() -> u64 {
+    let mut r = rand::thread_rng();
+    let another = SmallRng::from_entropy();
+    let _ = another;
+    r.gen()
+}

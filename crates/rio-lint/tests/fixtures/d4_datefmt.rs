@@ -1,0 +1,13 @@
+//! D4 fixture: wall-clock date formatting in deterministic output.
+
+/// Stamps a banner with the local date.
+pub fn banner() -> String {
+    let stamp = chrono::Local::now();
+    format!("run at {stamp:?}")
+}
+
+/// OffsetDateTime is banned too.
+pub fn banner2() -> String {
+    let t = OffsetDateTime::now_utc();
+    format!("{t:?}")
+}

@@ -1,0 +1,9 @@
+//! S1 fixture: unsafe blocks must carry SAFETY comments.
+
+/// Reads a byte with and without justification.
+pub fn peek(p: *const u8) -> u8 {
+    // SAFETY: the caller guarantees p points at a live byte (fixture).
+    let a = unsafe { *p };
+    let b = unsafe { *p };
+    a + b
+}

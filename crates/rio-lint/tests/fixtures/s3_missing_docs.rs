@@ -1,0 +1,6 @@
+//! S3 fixture: a crate root without the missing-docs gate.
+
+#![forbid(unsafe_code)]
+
+/// Nothing else is wrong with this file.
+pub fn fine() {}

@@ -1,0 +1,13 @@
+//! S4 fixture: suppression hygiene.
+
+use std::collections::BTreeMap;
+
+/// Everything below is already deterministic.
+pub fn build() -> BTreeMap<u32, u32> {
+    // rio-lint: allow(D1) nothing on the next line actually violates D1
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    // rio-lint: allow(D9) unknown rule ids are reported
+    // rio-lint: allow(D2)
+    let _t = std::time::Instant::now();
+    m
+}

@@ -25,6 +25,7 @@
 //! [`fabric::XferStep::Dropped`] resumption point the caller schedules.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod fabric;
 

@@ -196,7 +196,7 @@ impl InOrderCompleter {
                     assert!(!*done, "duplicate merged-span completion");
                     *done = true;
                 }
-                Pending::Group { .. } => panic!("merged span overlaps plain group"),
+                Pending::Group { .. } => unreachable!("merged span overlaps plain group"),
                 Pending::Vacant => unreachable!("slot was just filled"),
             }
         } else {
@@ -221,7 +221,7 @@ impl InOrderCompleter {
                         );
                     }
                 }
-                Pending::MergedSpan { .. } => panic!("plain completion overlaps merged span"),
+                Pending::MergedSpan { .. } => unreachable!("plain completion overlaps merged span"),
                 Pending::Vacant => unreachable!("slot was just filled"),
             }
         }

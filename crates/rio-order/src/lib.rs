@@ -28,6 +28,7 @@
 //! (`rio-fs`) build journaling on top of the ordered block abstraction.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod attr;
 pub mod completion;

@@ -16,7 +16,7 @@
 //!    servers (idempotent, §4.4.1). In-place updates are never rolled
 //!    back; they are reported to the upper layer instead (§4.4.2).
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use rio_proto::PmrRecord;
 
@@ -162,7 +162,7 @@ impl RecoveryPlan {
         // Per-(server, ssd) FLUSH durability horizon per stream: the
         // largest seq_end among flush-carrying records whose persist bit
         // is set. A FLUSH only persists the device it ran on.
-        let mut flush_horizon: HashMap<(ServerId, u8, u16), u32> = HashMap::new();
+        let mut flush_horizon: BTreeMap<(ServerId, u8, u16), u32> = BTreeMap::new();
         for scan in &input.scans {
             if scan.plp {
                 continue;

@@ -17,6 +17,9 @@
 //! Everything here is pure data manipulation: no I/O, no simulation
 //! dependencies, fully round-trip tested.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod cqe;
 pub mod crc;
 pub mod opcode;

@@ -19,6 +19,9 @@
 //! * [`resource`] — tiny analytic models of serial resources (a DMA
 //!   engine, a flash channel, a link) used by the device models.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod hash;
 pub mod heap;
 pub mod resource;

@@ -24,6 +24,9 @@
 //! time and returns its completion instant analytically, so it composes
 //! with any discrete-event loop without owning one.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod media;
 pub mod pmr;
 pub mod profile;

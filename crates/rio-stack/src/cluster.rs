@@ -2387,7 +2387,7 @@ impl Cluster {
 
     fn on_sync_flush_complete(&mut self, now: SimTime, t: usize) {
         let SyncStage::AwaitFlush { remaining } = self.threads[t].sync_stage else {
-            panic!("flush completion outside AwaitFlush");
+            unreachable!("flush completion outside AwaitFlush");
         };
         if remaining > 1 {
             self.threads[t].sync_stage = SyncStage::AwaitFlush {
@@ -2663,8 +2663,8 @@ impl Cluster {
                 ssd.advance(t_disc);
             }
         }
-        let mut per_ssd_counts: std::collections::HashMap<(usize, usize), usize> =
-            std::collections::HashMap::new();
+        let mut per_ssd_counts: std::collections::BTreeMap<(usize, usize), usize> =
+            std::collections::BTreeMap::new();
         let mut discards = 0usize;
         for sp in &plan.streams {
             for d in &sp.discard {

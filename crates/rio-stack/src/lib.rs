@@ -30,6 +30,7 @@
 //! one-shot §6.5 driver lives in [`crash`] as a thin wrapper.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cluster;
 pub mod config;

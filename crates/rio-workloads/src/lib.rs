@@ -12,6 +12,9 @@
 //! performance figures use the same I/O shapes through `rio-stack`'s
 //! cluster (see `rio-bench`).
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub mod fio;
 pub mod minikv;
 pub mod varmail;

@@ -23,6 +23,9 @@
 //! See DESIGN.md for the architecture, EXPERIMENTS.md for the
 //! paper-vs-measured results, and `examples/` for runnable tours.
 
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
 pub use rio_block as block;
 pub use rio_fs as fs;
 pub use rio_net as net;
